@@ -1,0 +1,121 @@
+// Command simulate runs the Schedule Predictor (or a noisy cluster
+// emulation) over a JSON trace and reports the schedule summary plus QS
+// metrics per tenant.
+//
+// Usage:
+//
+//	simulate -trace trace.json -capacity 80 [-config rm.json] [-noise] [-seed 7]
+//
+// When -config is omitted, every tenant runs with equal weight and no
+// limits. The RM configuration file is the JSON form of the library's
+// ClusterConfig:
+//
+//	{
+//	  "total_containers": 80,
+//	  "tenants": {
+//	    "ETL": {"weight": 3, "min_share": 12, "max_share": 0,
+//	            "share_preempt_timeout": 240000000000,
+//	            "min_share_preempt_timeout": 45000000000}
+//	  }
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"tempo/internal/cluster"
+	"tempo/internal/qs"
+	"tempo/internal/workload"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "input trace JSON (required)")
+		cfgPath   = flag.String("config", "", "RM configuration JSON (optional)")
+		capacity  = flag.Int("capacity", 80, "cluster capacity when -config is omitted")
+		noise     = flag.Bool("noise", false, "emulate a noisy production run instead of predicting")
+		seed      = flag.Int64("seed", 1, "noise seed")
+		hours     = flag.Float64("horizon-hours", 0, "cap the run at this many hours (0 = run to completion)")
+		outTasks  = flag.String("out-tasks", "", "write the task schedule as CSV to this file")
+		outJobs   = flag.String("out-jobs", "", "write job outcomes as CSV to this file")
+	)
+	flag.Parse()
+	if err := run(*tracePath, *cfgPath, *capacity, *noise, *seed, *hours, *outTasks, *outJobs); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath, cfgPath string, capacity int, noise bool, seed int64, hours float64, outTasks, outJobs string) error {
+	if tracePath == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	trace, err := workload.LoadFile(tracePath)
+	if err != nil {
+		return err
+	}
+	cfg := cluster.Config{TotalContainers: capacity, Tenants: map[string]cluster.TenantConfig{}}
+	if cfgPath != "" {
+		raw, err := os.ReadFile(cfgPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(raw, &cfg); err != nil {
+			return fmt.Errorf("parsing %s: %w", cfgPath, err)
+		}
+	}
+	opts := cluster.Options{Horizon: time.Duration(hours * float64(time.Hour))}
+	if noise {
+		opts.Noise = cluster.DefaultNoise(seed)
+	}
+	start := time.Now()
+	sched, err := cluster.Run(trace, cfg, opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Println(sched)
+	if secs := elapsed.Seconds(); secs > 0 {
+		fmt.Printf("simulated %d tasks in %s (%.0f tasks/sec)\n",
+			len(sched.Tasks), elapsed.Round(time.Millisecond), float64(len(sched.Tasks))/secs)
+	}
+	end := sched.Horizon + time.Nanosecond
+	fmt.Printf("\n%-12s %8s %10s %10s %8s %9s\n", "tenant", "jobs", "AJR(s)", "DLviol", "util", "preempted")
+	for _, tenant := range sched.Tenants() {
+		ajr := qs.Template{Queue: tenant, Metric: qs.AvgResponseTime}.Eval(sched, 0, end)
+		dl := qs.Template{Queue: tenant, Metric: qs.DeadlineViolations, Slack: 0.25}.Eval(sched, 0, end)
+		util := -qs.Template{Queue: tenant, Metric: qs.Utilization}.Eval(sched, 0, end)
+		jobs := len(sched.JobsByTenant(tenant))
+		fmt.Printf("%-12s %8d %10.1f %10.3f %8.3f %9d\n",
+			tenant, jobs, ajr, dl, util, sched.PreemptionCount(tenant, nil))
+	}
+	if outTasks != "" {
+		if err := writeCSV(outTasks, sched.WriteTasksCSV); err != nil {
+			return err
+		}
+	}
+	if outJobs != "" {
+		if err := writeCSV(outJobs, sched.WriteJobsCSV); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeCSV(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,126 @@
+// Command tempoctl runs Tempo's self-tuning control loop on an emulated
+// multi-tenant cluster and reports the per-iteration SLO trajectory —
+// the closest thing to "running Tempo" without a live YARN/Mesos cluster.
+//
+// Usage:
+//
+//	tempoctl -mix ec2 -capacity 48 -iterations 15 -interval 1h \
+//	         -deadline-slack 0.25 -deadline-target 0.05
+//
+// The loop starts from a deliberately skewed "expert" configuration and
+// prints, per iteration, the observured QS metrics, whether a new RM
+// configuration was adopted, and whether the revert guard rolled one back.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tempo/internal/cluster"
+	"tempo/internal/core"
+	"tempo/internal/exp"
+	"tempo/internal/pald"
+	"tempo/internal/qs"
+	"tempo/internal/whatif"
+	"tempo/internal/workload"
+)
+
+func main() {
+	var (
+		mix        = flag.String("mix", "ec2", "workload mix: ec2 or two-tenant")
+		capacity   = flag.Int("capacity", 48, "cluster capacity in containers")
+		scale      = flag.Float64("scale", 2.2, "arrival-rate scale")
+		iterations = flag.Int("iterations", 15, "control-loop iterations")
+		interval   = flag.Duration("interval", time.Hour, "control interval L")
+		slack      = flag.Float64("deadline-slack", 0.25, "QS_DL slack γ")
+		dlTarget   = flag.Float64("deadline-target", 0.0, "deadline-violation target r")
+		seed       = flag.Int64("seed", 42, "random seed")
+		candidates = flag.Int("candidates", 5, "candidate configurations per loop")
+		strategy   = flag.String("strategy", "pald", "optimizer: pald, weighted-sum, random")
+	)
+	flag.Parse()
+	if err := run(*mix, *capacity, *scale, *iterations, *interval, *slack, *dlTarget, *seed, *candidates, *strategy); err != nil {
+		fmt.Fprintln(os.Stderr, "tempoctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mix string, capacity int, scale float64, iterations int, interval time.Duration, slack, dlTarget float64, seed int64, candidates int, strategyName string) error {
+	var profiles []workload.TenantProfile
+	switch mix {
+	case "ec2":
+		profiles = exp.EC2TwoTenantProfiles(scale)
+	case "two-tenant":
+		profiles = exp.TwoTenantProfiles(scale)
+	default:
+		return fmt.Errorf("unknown mix %q", mix)
+	}
+	trace, err := workload.Generate(profiles, workload.GenerateOptions{
+		Horizon: interval, Seed: seed + 977, Name: "tempoctl",
+	})
+	if err != nil {
+		return err
+	}
+	templates := []qs.Template{
+		qs.Template{Queue: "deadline", Metric: qs.DeadlineViolations, Slack: slack}.WithTarget(dlTarget),
+		{Queue: "besteffort", Metric: qs.AvgResponseTime},
+	}
+	model, err := whatif.FromTrace(templates, trace)
+	if err != nil {
+		return err
+	}
+	model.Horizon = interval
+	var strategy pald.Strategy
+	space := cluster.DefaultSpace(capacity, []string{"deadline", "besteffort"})
+	switch strategyName {
+	case "pald":
+		strategy = nil // controller builds the default PALD optimizer
+	case "weighted-sum":
+		strategy, err = pald.NewWeightedSum(space.Dim(), len(templates), pald.Options{Seed: seed, MaxStep: 0.2})
+	case "random":
+		strategy, err = pald.NewRandomSearch(space.Dim(), 0.2, seed)
+	default:
+		return fmt.Errorf("unknown strategy %q", strategyName)
+	}
+	if err != nil {
+		return err
+	}
+	ctl, err := core.NewController(core.Config{
+		Space:       space,
+		Templates:   templates,
+		Model:       model,
+		Environment: &core.ReplayEnvironment{Trace: trace, Noise: cluster.DefaultNoise(seed + 13), Seed: seed},
+		Interval:    interval,
+		Candidates:  candidates,
+		Strategy:    strategy,
+		PALD:        pald.Options{Seed: seed + 29, MaxStep: 0.2},
+	}, exp.ExpertTwoTenantConfig(capacity))
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("tempoctl: %s mix, %d containers, %d iterations, interval %s, strategy %s\n",
+		mix, capacity, iterations, interval, strategyName)
+	fmt.Printf("%5s  %10s  %10s  %8s  %8s\n", "iter", "DL viol", "AJR (s)", "switched", "reverted")
+	for i := 0; i < iterations; i++ {
+		it, err := ctl.Step()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%5d  %10.3f  %10.1f  %8v  %8v\n",
+			it.Index, it.Observed[0], it.Observed[1], it.Switched, it.Reverted)
+	}
+	history := ctl.History()
+	fmt.Printf("\nbest-effort AJR improvement: %.1f%%\n", core.Improvement(history, 1)*100)
+	final := ctl.Current()
+	fmt.Println("final RM configuration:")
+	for _, name := range space.TenantNames {
+		tc := final.Tenant(name)
+		fmt.Printf("  %-12s weight=%-5.2f min=%-3d max=%-3d sharePreempt=%-8s minPreempt=%s\n",
+			name, tc.Weight, tc.MinShare, tc.MaxShare,
+			tc.SharePreemptTimeout.Round(time.Second), tc.MinSharePreemptTimeout.Round(time.Second))
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+// Command tracegen synthesizes workload traces from the built-in
+// statistical tenant profiles and writes them as JSON, ready for
+// cmd/simulate, cmd/tempoctl, or the library's trace APIs.
+//
+// Usage:
+//
+//	tracegen -mix abc -hours 24 -scale 0.5 -seed 1 -out trace.json
+//
+// Mixes: abc (the six Company ABC tenants of Table 1), two-tenant (the
+// deadline + best-effort pair of §8.2), ec2 (Facebook + Cloudera mixes of
+// the EC2 experiments), fb (Facebook-like single tenant), cloudera
+// (Cloudera-like single tenant).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tempo/internal/exp"
+	"tempo/internal/workload"
+)
+
+func main() {
+	var (
+		mix   = flag.String("mix", "abc", "workload mix: abc, two-tenant, ec2, fb, cloudera")
+		hours = flag.Float64("hours", 24, "trace horizon in hours")
+		scale = flag.Float64("scale", 1.0, "arrival-rate scale factor")
+		seed  = flag.Int64("seed", 1, "random seed")
+		out   = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*mix, *hours, *scale, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mix string, hours, scale float64, seed int64, out string) error {
+	var profiles []workload.TenantProfile
+	switch mix {
+	case "abc":
+		profiles = workload.CompanyABC(scale)
+	case "two-tenant":
+		profiles = exp.TwoTenantProfiles(scale)
+	case "ec2":
+		profiles = exp.EC2TwoTenantProfiles(scale)
+	case "fb":
+		profiles = []workload.TenantProfile{workload.Facebook("fb", scale)}
+	case "cloudera":
+		profiles = []workload.TenantProfile{workload.Cloudera("cloudera", scale)}
+	default:
+		return fmt.Errorf("unknown mix %q", mix)
+	}
+	trace, err := workload.Generate(profiles, workload.GenerateOptions{
+		Horizon: time.Duration(hours * float64(time.Hour)),
+		Seed:    seed,
+		Name:    mix,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %d jobs / %d tasks across %d tenants\n",
+		len(trace.Jobs), trace.TaskCount(), len(trace.Tenants()))
+	if out == "" {
+		return trace.WriteJSON(os.Stdout)
+	}
+	return trace.SaveFile(out)
+}

@@ -1,0 +1,111 @@
+package tempo_test
+
+import (
+	"fmt"
+	"time"
+
+	"tempo"
+)
+
+// ExamplePredict shows the fast Schedule Predictor on a hand-built trace:
+// two tenants share four containers under 2:1 weights.
+func ExamplePredict() {
+	trace := &tempo.Trace{
+		Name:    "demo",
+		Horizon: time.Hour,
+		Jobs: []tempo.JobSpec{
+			tempo.NewMapReduceJob("etl-1", "etl", 0,
+				[]time.Duration{60 * time.Second, 60 * time.Second}, // 2 maps
+				[]time.Duration{30 * time.Second}),                  // 1 reduce
+			tempo.NewMapReduceJob("adhoc-1", "adhoc", 0,
+				[]time.Duration{45 * time.Second}, nil),
+		},
+	}
+	trace.Sort()
+	cfg := tempo.ClusterConfig{
+		TotalContainers: 4,
+		Tenants: map[string]tempo.TenantConfig{
+			"etl":   {Weight: 2},
+			"adhoc": {Weight: 1},
+		},
+	}
+	sched, err := tempo.Predict(trace, cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, j := range sched.Jobs {
+		fmt.Printf("%s finished at %s\n", j.ID, j.Finish)
+	}
+	// Output:
+	// adhoc-1 finished at 45s
+	// etl-1 finished at 1m30s
+}
+
+// ExampleTemplate_Eval evaluates QS metrics over a schedule: the loss
+// functions Tempo minimizes.
+func ExampleTemplate_Eval() {
+	trace := &tempo.Trace{
+		Horizon: time.Hour,
+		Jobs: []tempo.JobSpec{
+			tempo.NewMapReduceJob("j1", "etl", 0, []time.Duration{100 * time.Second}, nil),
+			tempo.NewMapReduceJob("j2", "etl", 0, []time.Duration{200 * time.Second}, nil),
+		},
+	}
+	trace.Jobs[0].Deadline = 90 * time.Second  // will be missed (needs 100s)
+	trace.Jobs[1].Deadline = 300 * time.Second // comfortably met
+	trace.Sort()
+	sched, _ := tempo.Predict(trace, tempo.ClusterConfig{TotalContainers: 2})
+
+	ajr := tempo.Template{Queue: "etl", Metric: tempo.AvgResponseTime}
+	dl := tempo.Template{Queue: "etl", Metric: tempo.DeadlineViolations}
+	forgiving := tempo.Template{Queue: "etl", Metric: tempo.DeadlineViolations, Slack: 0.25}
+	end := sched.Horizon + time.Nanosecond
+	fmt.Printf("QS_AJR = %.0f seconds\n", ajr.Eval(sched, 0, end))
+	fmt.Printf("QS_DL  = %.2f\n", dl.Eval(sched, 0, end))
+	fmt.Printf("QS_DL (25%% slack) = %.2f\n", forgiving.Eval(sched, 0, end))
+	// Output:
+	// QS_AJR = 150 seconds
+	// QS_DL  = 0.50
+	// QS_DL (25% slack) = 0.00
+}
+
+// ExampleGenerate synthesizes a workload from a statistical tenant profile
+// — the Workload Generator of Tempo's What-if Model.
+func ExampleGenerate() {
+	profile := tempo.TenantProfile{
+		Name:        "batch",
+		JobsPerHour: 10,
+		NumMaps:     tempo.Constant(4),
+		MapSeconds:  tempo.Constant(30),
+	}
+	trace, err := tempo.Generate([]tempo.TenantProfile{profile},
+		tempo.GenerateOptions{Horizon: 2 * time.Hour, Seed: 7})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("deterministic for a given seed: %d jobs, %d tasks each\n",
+		len(trace.Jobs), trace.Jobs[0].TaskCount())
+	// Output:
+	// deterministic for a given seed: 25 jobs, 4 tasks each
+}
+
+// ExampleClusterConfig_WithSubTenants splits one queue into size-class
+// sub-queues (the §10 hierarchical-tenant workaround).
+func ExampleClusterConfig_WithSubTenants() {
+	cfg := tempo.ClusterConfig{
+		TotalContainers: 40,
+		Tenants: map[string]tempo.TenantConfig{
+			"analytics": {Weight: 2, MinShare: 10},
+		},
+	}
+	split := cfg.WithSubTenants("analytics", []string{"analytics/small", "analytics/large"})
+	for _, name := range []string{"analytics/small", "analytics/large"} {
+		tc := split.Tenants[name]
+		fmt.Printf("%s: weight %.1f, min %d\n", name, tc.Weight, tc.MinShare)
+	}
+	// Output:
+	// analytics/small: weight 1.0, min 5
+	// analytics/large: weight 1.0, min 5
+}

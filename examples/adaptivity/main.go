@@ -1,0 +1,101 @@
+// Adaptivity reproduces §8.2.3: under a drifting workload, each control
+// interval sees a different slice of the trace, and the choice of interval
+// length trades reaction speed against stability (Figure 11).
+//
+//	go run ./examples/adaptivity
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tempo"
+)
+
+const capacity = 48
+
+func main() {
+	// A drifting workload: arrival rates swing through a day/night cycle.
+	deadline := tempo.Cloudera("deadline", 2.2)
+	deadline.DeadlineFactor = tempo.Uniform{Lo: 1.1, Hi: 1.8}
+	deadline.DeadlineParallelism = 16
+	deadline.Rate = tempo.DiurnalWeekly(0.4, 1)
+	bestEffort := tempo.Facebook("besteffort", 2.2)
+	bestEffort.Rate = tempo.DiurnalWeekly(0.4, 1)
+
+	horizon := 8 * time.Hour
+	trace, err := tempo.Generate([]tempo.TenantProfile{deadline, bestEffort},
+		tempo.GenerateOptions{Horizon: horizon, Seed: 77})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("drifting workload: %d jobs over %s\n", len(trace.Jobs), horizon)
+
+	templates := []tempo.Template{
+		tempo.Template{Queue: "deadline", Metric: tempo.DeadlineViolations, Slack: 0.25}.WithTarget(0),
+		{Queue: "besteffort", Metric: tempo.AvgResponseTime},
+	}
+	expert := tempo.ClusterConfig{
+		TotalContainers: capacity,
+		Tenants: map[string]tempo.TenantConfig{
+			"deadline":   {Weight: 2, MinShare: capacity / 4, MinSharePreemptTimeout: time.Minute, SharePreemptTimeout: 5 * time.Minute},
+			"besteffort": {Weight: 0.4, MaxShare: capacity / 5},
+		},
+	}
+
+	// Baseline: the untouched expert configuration over the whole trace.
+	base, err := tempo.Run(trace, expert, tempo.RunOptions{Horizon: horizon, Noise: tempo.DefaultNoise(78)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseVals := tempo.Evaluate(templates, base, 0, base.Horizon+time.Nanosecond)
+	fmt.Printf("\nuntuned expert baseline: DL-miss %.1f%%, best-effort AJR %.0fs\n\n",
+		baseVals[0]*100, baseVals[1])
+
+	fmt.Printf("%10s  %12s  %14s\n", "interval", "DL-miss (%)", "AJR vs expert")
+	for _, interval := range []time.Duration{15 * time.Minute, 30 * time.Minute, 45 * time.Minute} {
+		// The What-if Model regenerates workloads with the drifting
+		// statistics; the environment windows through the real trace.
+		model, err := tempo.NewWhatIfFromProfiles(templates,
+			[]tempo.TenantProfile{deadline, bestEffort}, interval, 79)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model.Horizon = interval
+		ctl, err := tempo.NewController(tempo.ControllerConfig{
+			Space:       tempo.DefaultSpace(capacity, []string{"deadline", "besteffort"}),
+			Templates:   templates,
+			Model:       model,
+			Environment: &tempo.TraceEnvironment{Trace: trace, Noise: tempo.DefaultNoise(80)},
+			Interval:    interval,
+			Candidates:  5,
+		}, expert)
+		if err != nil {
+			log.Fatal(err)
+		}
+		iters := int(horizon / interval)
+		history, err := ctl.Run(iters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Average over the second half, after the loop has had time to adapt.
+		half := history[len(history)/2:]
+		var ajr, dl float64
+		n := 0
+		for _, it := range half {
+			if it.Observed[1] > 0 {
+				ajr += it.Observed[1]
+				dl += it.Observed[0]
+				n++
+			}
+		}
+		if n > 0 {
+			ajr /= float64(n)
+			dl /= float64(n)
+		}
+		fmt.Printf("%10s  %12.1f  %13.2fx\n", interval, dl*100, ajr/baseVals[1])
+	}
+	fmt.Println("\nsmaller intervals react faster to drift; the paper's 45-minute window")
+	fmt.Println("matched the baseline's deadline compliance while cutting AJR by 22%.")
+}

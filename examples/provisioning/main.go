@@ -1,0 +1,149 @@
+// Provisioning reproduces §8.2.4: use Tempo's What-if Model to answer
+// "how small a cluster can run this workload without breaking the SLOs?" —
+// the resource-provisioning / cost-cutting application.
+//
+//	go run ./examples/provisioning
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tempo"
+)
+
+func main() {
+	// The workload whose home we are sizing.
+	profiles := []tempo.TenantProfile{
+		tempo.DeadlineDriven("prod", 2),
+		tempo.BestEffort("adhoc", 2),
+	}
+	horizon := 4 * time.Hour
+	trace, err := tempo.Generate(profiles, tempo.GenerateOptions{Horizon: horizon, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d jobs / %d tasks over %s\n\n", len(trace.Jobs), trace.TaskCount(), horizon)
+
+	// SLO targets the business cares about.
+	const (
+		deadlineMissBudget = 0.05   // <= 5% of prod jobs may miss deadlines
+		adhocLatencyBudget = 3600.0 // adhoc jobs should average under an hour
+	)
+	templates := []tempo.Template{
+		{Queue: "prod", Metric: tempo.DeadlineViolations, Slack: 0.25},
+		{Queue: "adhoc", Metric: tempo.AvgResponseTime},
+	}
+
+	fmt.Printf("%10s  %14s  %16s  %s\n", "containers", "prod DL-miss", "adhoc AJR (s)", "verdict")
+	smallest := -1
+	for _, capacity := range []int{160, 120, 96, 80, 64, 48, 32, 24} {
+		cfg := tempo.ClusterConfig{
+			TotalContainers: capacity,
+			Tenants: map[string]tempo.TenantConfig{
+				"prod":  {Weight: 2, MinShare: capacity / 4, MinSharePreemptTimeout: time.Minute},
+				"adhoc": {Weight: 1},
+			},
+		}
+		// One fast schedule prediction per candidate size — the same
+		// what-if machinery the control loop uses.
+		sched, err := tempo.Predict(trace, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v := tempo.Evaluate(templates, sched, 0, sched.Horizon+time.Nanosecond)
+		ok := v[0] <= deadlineMissBudget && v[1] <= adhocLatencyBudget
+		verdict := "meets SLOs"
+		if !ok {
+			verdict = "VIOLATES SLOs"
+		} else if smallest < 0 || capacity < smallest {
+			smallest = capacity
+		}
+		fmt.Printf("%10d  %14.3f  %16.1f  %s\n", capacity, v[0], v[1], verdict)
+	}
+	if smallest > 0 {
+		fmt.Printf("\nsmallest SLO-compliant cluster: %d containers\n", smallest)
+	} else {
+		fmt.Println("\nno tested size meets the SLOs; provision more than the largest tested")
+	}
+
+	// Cross-size estimation (Figure 12's caveat): profiles fitted from a
+	// trace observed on a small cluster predict a larger one with error
+	// that grows as the source shrinks.
+	fmt.Println("\ncross-size estimation check (predict 160 containers from fitted profiles):")
+	truthSched, err := tempo.Predict(trace, sizedConfig(160))
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := tempo.Evaluate(templates, truthSched, 0, truthSched.Horizon+time.Nanosecond)
+	for _, srcCap := range []int{160, 80, 40} {
+		srcSched, err := tempo.Run(trace, sizedConfig(srcCap), tempo.RunOptions{Noise: tempo.DefaultNoise(33), Horizon: horizon})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Harvest completed jobs into a trace, re-fit, re-generate.
+		harvest := harvestTrace(srcSched)
+		fitted, err := tempo.FitAllProfiles(harvest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model, err := tempo.NewWhatIfFromProfiles(templates, fitted, horizon, 44)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := model.Evaluate(sizedConfig(160))
+		if err != nil {
+			log.Fatal(err)
+		}
+		errPct := 0.0
+		if truth[1] != 0 {
+			errPct = (est[1] - truth[1]) / truth[1] * 100
+		}
+		fmt.Printf("  source %3d containers -> adhoc AJR estimate %7.1fs (truth %.1fs, error %+.1f%%)\n",
+			srcCap, est[1], truth[1], errPct)
+	}
+}
+
+func sizedConfig(capacity int) tempo.ClusterConfig {
+	return tempo.ClusterConfig{
+		TotalContainers: capacity,
+		Tenants: map[string]tempo.TenantConfig{
+			"prod":  {Weight: 2, MinShare: capacity / 4, MinSharePreemptTimeout: time.Minute},
+			"adhoc": {Weight: 1},
+		},
+	}
+}
+
+// harvestTrace rebuilds job specs from an observed schedule's completed
+// jobs, the way a deployment would mine the RM's job-history logs.
+func harvestTrace(s *tempo.Schedule) *tempo.Trace {
+	byJob := map[string][2][]time.Duration{}
+	for _, t := range s.Tasks {
+		if t.Outcome != tempo.TaskFinished {
+			continue
+		}
+		pair := byJob[t.JobID]
+		if t.Kind == tempo.Map {
+			pair[0] = append(pair[0], t.End-t.Start)
+		} else {
+			pair[1] = append(pair[1], t.End-t.Start)
+		}
+		byJob[t.JobID] = pair
+	}
+	tr := &tempo.Trace{Name: "harvest", Horizon: s.Horizon}
+	for _, j := range s.Jobs {
+		if !j.Completed {
+			continue
+		}
+		pair, ok := byJob[j.ID]
+		if !ok || len(pair[0]) == 0 {
+			continue
+		}
+		spec := tempo.NewMapReduceJob(j.ID, j.Tenant, j.Submit, pair[0], pair[1])
+		spec.Deadline = j.Deadline
+		tr.Jobs = append(tr.Jobs, spec)
+	}
+	tr.Sort()
+	return tr
+}

@@ -1,0 +1,93 @@
+// Quickstart: declare SLOs for two tenants, point Tempo at an (emulated)
+// cluster, and let the control loop tune the Resource Manager.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tempo"
+)
+
+func main() {
+	// 1. Describe the tenants' workloads. In production this is recorded
+	// history; here we use the library's statistical profiles: a
+	// deadline-driven ETL-like tenant and a best-effort analyst tenant.
+	abc := tempo.CompanyABC(0.8)
+	profiles := []tempo.TenantProfile{abc[5] /* ETL */, abc[0] /* BI */}
+
+	// 2. Declare the SLOs with QS templates: at most 5% of ETL jobs may
+	// miss their deadlines (with 25% slack), and BI's average response
+	// time should be as low as possible (best-effort: no fixed target).
+	templates := []tempo.Template{
+		tempo.Template{Queue: "ETL", Metric: tempo.DeadlineViolations, Slack: 0.25}.WithTarget(0.05),
+		{Queue: "BI", Metric: tempo.AvgResponseTime},
+	}
+
+	// 3. Record one interval of workload to replay in the What-if Model.
+	const interval = time.Hour
+	trace, err := tempo.Generate(profiles, tempo.GenerateOptions{Horizon: interval, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := tempo.NewWhatIfFromTrace(templates, trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model.Horizon = interval
+
+	// 4. The starting RM configuration a DBA might write: protect ETL,
+	// cap BI hard.
+	const capacity = 40
+	initial := tempo.ClusterConfig{
+		TotalContainers: capacity,
+		Tenants: map[string]tempo.TenantConfig{
+			"ETL": {Weight: 3, MinShare: 16, MinSharePreemptTimeout: time.Minute},
+			"BI":  {Weight: 1, MaxShare: 8},
+		},
+	}
+
+	// 5. Wire the control loop against a noisy emulated cluster that
+	// replays the same workload each interval.
+	ctl, err := tempo.NewController(tempo.ControllerConfig{
+		Space:     tempo.DefaultSpace(capacity, []string{"ETL", "BI"}),
+		Templates: templates,
+		Model:     model,
+		Environment: &tempo.ReplayEnvironment{
+			Trace: trace,
+			Noise: tempo.DefaultNoise(11),
+		},
+		Interval:   interval,
+		Candidates: 5,
+	}, initial)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 6. Run a few control-loop iterations and watch the SLOs.
+	fmt.Println("iter  ETL deadline-miss  BI avg response (s)")
+	for i := 0; i < 8; i++ {
+		it, err := ctl.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := ""
+		if it.Switched {
+			marker = "  <- new RM config"
+		}
+		if it.Reverted {
+			marker = "  <- reverted"
+		}
+		fmt.Printf("%4d  %17.3f  %19.1f%s\n", it.Index, it.Observed[0], it.Observed[1], marker)
+	}
+
+	final := ctl.Current()
+	fmt.Println("\nfinal RM configuration:")
+	for _, name := range []string{"ETL", "BI"} {
+		tc := final.Tenant(name)
+		fmt.Printf("  %-4s weight=%.2f min=%d max=%d\n", name, tc.Weight, tc.MinShare, tc.MaxShare)
+	}
+}

@@ -1,0 +1,110 @@
+// Utilization reproduces the §8.2.2 story: badly tuned preemption timeouts
+// kill long reduce tasks, wasting work (Figure 1's region I) and dragging
+// effective utilization down. Tempo adds map/reduce utilization SLOs and
+// self-tunes the preemption settings.
+//
+//	go run ./examples/utilization
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tempo"
+)
+
+const (
+	capacity = 48
+	interval = time.Hour
+)
+
+func main() {
+	// The preemption-victim mix: a deadline tenant with aggressive
+	// preemption rights and a best-effort tenant running long reduces.
+	deadline := tempo.DeadlineDriven("deadline", 1.8)
+	bestEffort := tempo.BestEffort("besteffort", 1.8)
+	trace, err := tempo.Generate([]tempo.TenantProfile{deadline, bestEffort},
+		tempo.GenerateOptions{Horizon: interval, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	expert := tempo.ClusterConfig{
+		TotalContainers: capacity,
+		Tenants: map[string]tempo.TenantConfig{
+			"deadline": {
+				Weight: 3, MinShare: capacity / 2,
+				MinSharePreemptTimeout: 15 * time.Second, // hair-trigger preemption
+				SharePreemptTimeout:    45 * time.Second,
+			},
+			"besteffort": {Weight: 1},
+		},
+	}
+
+	// Measure the expert configuration's waste.
+	before, err := tempo.Run(trace, expert, tempo.RunOptions{Horizon: 2 * interval})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reportWaste("expert config", before)
+
+	// SLOs: keep deadlines, keep effective utilization of both container
+	// kinds at least at the expert level, minimize best-effort latency.
+	mapKind, redKind := tempo.Map, tempo.Reduce
+	end := before.Horizon + time.Nanosecond
+	utilMap := tempo.Template{Metric: tempo.Utilization, TaskKind: &mapKind, EffectiveOnly: true}
+	utilRed := tempo.Template{Metric: tempo.Utilization, TaskKind: &redKind, EffectiveOnly: true}
+	templates := []tempo.Template{
+		tempo.Template{Queue: "deadline", Metric: tempo.DeadlineViolations, Slack: 0.25}.WithTarget(0.05),
+		{Queue: "besteffort", Metric: tempo.AvgResponseTime},
+		utilMap.WithTarget(tempo.Evaluate([]tempo.Template{utilMap}, before, 0, end)[0]),
+		utilRed.WithTarget(tempo.Evaluate([]tempo.Template{utilRed}, before, 0, end)[0]),
+	}
+
+	model, err := tempo.NewWhatIfFromTrace(templates, trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model.Horizon = 2 * interval
+	ctl, err := tempo.NewController(tempo.ControllerConfig{
+		Space:       tempo.DefaultSpace(capacity, []string{"deadline", "besteffort"}),
+		Templates:   templates,
+		Model:       model,
+		Environment: &tempo.ReplayEnvironment{Trace: trace, Noise: tempo.DefaultNoise(6)},
+		Interval:    2 * interval,
+		Candidates:  5,
+	}, expert)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ctl.Run(10); err != nil {
+		log.Fatal(err)
+	}
+
+	// Replay the same workload under the tuned configuration.
+	after, err := tempo.Run(trace, ctl.Current(), tempo.RunOptions{Horizon: 2 * interval})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reportWaste("tempo-tuned config", after)
+
+	tuned := ctl.Current()
+	fmt.Println("\ntuned preemption timeouts:")
+	for _, name := range []string{"deadline", "besteffort"} {
+		tc := tuned.Tenant(name)
+		fmt.Printf("  %-12s minSharePreempt=%-8s sharePreempt=%s\n",
+			name, tc.MinSharePreemptTimeout.Round(time.Second), tc.SharePreemptTimeout.Round(time.Second))
+	}
+}
+
+func reportWaste(label string, s *tempo.Schedule) {
+	useful, wasted := s.ContainerSeconds()
+	total := useful + wasted
+	eff := 0.0
+	if total > 0 {
+		eff = float64(useful) / float64(total)
+	}
+	fmt.Printf("%-20s preempted attempts=%-4d wasted=%-14s effective work fraction=%.3f\n",
+		label, s.PreemptionCount("", nil), wasted.Round(time.Second), eff)
+}

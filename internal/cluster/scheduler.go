@@ -1,0 +1,676 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"tempo/internal/sim"
+	"tempo/internal/workload"
+)
+
+// Event tie-break priorities: at the same instant, finishes free containers
+// before submissions ask for them, and preemption checks observe the
+// settled state last.
+const (
+	prioFinish = iota
+	prioKill
+	prioSubmit
+	prioPreempt
+)
+
+// Options configure a cluster run.
+type Options struct {
+	// Noise, when non-nil, turns the run into a noisy emulation of a
+	// production cluster. Nil runs the deterministic Schedule Predictor.
+	Noise *NoiseModel
+	// Horizon, when positive, stops the run at that virtual time, leaving
+	// still-running work truncated. Zero runs until all jobs finish.
+	Horizon time.Duration
+}
+
+// Run simulates the trace under the RM configuration and returns the task
+// schedule. It is deterministic: the same inputs (including the noise
+// model's seed) always produce the same schedule.
+func Run(trace *workload.Trace, cfg Config, opts Options) (*Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := trace.Validate(); err != nil {
+		return nil, err
+	}
+	s := newScheduler(trace, cfg, opts)
+	return s.run(), nil
+}
+
+// Predict runs the fast deterministic Schedule Predictor (§7.2): the same
+// scheduling code path as Run with noise disabled.
+func Predict(trace *workload.Trace, cfg Config) (*Schedule, error) {
+	return Run(trace, cfg, Options{})
+}
+
+// task is one task of one job; it may go through several attempts.
+type task struct {
+	job      *jobRun
+	stage    int
+	index    int
+	kind     workload.TaskKind
+	duration time.Duration
+	attempt  int
+}
+
+// runningTask is a task attempt currently occupying a container.
+type runningTask struct {
+	t         *task
+	tenant    *tenantState
+	start     time.Duration
+	finishEv  *sim.Event
+	recIdx    int
+	launchSeq uint64
+	done      bool
+}
+
+// jobRun tracks a job's progress through its stages.
+type jobRun struct {
+	spec      *workload.JobSpec
+	remaining []int // unfinished task count per stage
+	unlocked  []bool
+	recIdx    int
+	finished  bool
+	killed    bool
+	killEv    *sim.Event
+	running   []*runningTask
+}
+
+// tenantState is a tenant queue inside the RM.
+type tenantState struct {
+	name string
+	cfg  TenantConfig
+
+	pending []*task // FIFO; preempted tasks are pushed to the front
+	running int
+	ranked  []*runningTask // launch order, lazily compacted
+
+	fairShare float64 // instantaneous weighted fair share
+
+	starvedMinSince   time.Duration
+	starvedShareSince time.Duration
+	minCheckEv        *sim.Event
+	shareCheckEv      *sim.Event
+}
+
+func (t *tenantState) demand() int { return t.running + len(t.pending) }
+
+// effMax returns the tenant's container ceiling.
+func (t *tenantState) effMax(capacity int) int {
+	if t.cfg.MaxShare <= 0 || t.cfg.MaxShare > capacity {
+		return capacity
+	}
+	return t.cfg.MaxShare
+}
+
+// minTarget is the containers the tenant is entitled to at the min-share
+// level right now: its floor, capped by demand.
+func (t *tenantState) minTarget(capacity int) int {
+	m := t.cfg.MinShare
+	if m > capacity {
+		m = capacity
+	}
+	if d := t.demand(); m > d {
+		m = d
+	}
+	return m
+}
+
+type scheduler struct {
+	engine   sim.Engine
+	cfg      Config
+	capacity int
+	free     int
+	opts     Options
+	rng      *rand.Rand
+
+	tenants    map[string]*tenantState
+	tenantList []*tenantState // sorted by name for determinism
+
+	schedule  *Schedule
+	launchSeq uint64
+	allRun    []*runningTask // live attempts for horizon truncation
+}
+
+func newScheduler(trace *workload.Trace, cfg Config, opts Options) *scheduler {
+	s := &scheduler{
+		cfg:      cfg,
+		capacity: cfg.TotalContainers,
+		free:     cfg.TotalContainers,
+		opts:     opts,
+		tenants:  make(map[string]*tenantState),
+		schedule: &Schedule{Capacity: cfg.TotalContainers},
+	}
+	if opts.Noise != nil {
+		s.rng = rand.New(rand.NewSource(opts.Noise.Seed))
+	}
+	for _, name := range traceTenants(trace) {
+		ts := &tenantState{
+			name:              name,
+			cfg:               cfg.Tenant(name),
+			starvedMinSince:   -1,
+			starvedShareSince: -1,
+		}
+		s.tenants[name] = ts
+		s.tenantList = append(s.tenantList, ts)
+	}
+	for i := range trace.Jobs {
+		spec := &trace.Jobs[i]
+		s.engine.At(spec.Submit, prioSubmit, func(now time.Duration) {
+			s.submit(now, spec)
+		})
+	}
+	return s
+}
+
+func traceTenants(trace *workload.Trace) []string {
+	set := map[string]bool{}
+	for i := range trace.Jobs {
+		set[trace.Jobs[i].Tenant] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *scheduler) run() *Schedule {
+	if s.opts.Horizon > 0 {
+		s.engine.RunUntil(s.opts.Horizon)
+		s.truncate(s.opts.Horizon)
+	} else {
+		s.engine.Run()
+	}
+	s.schedule.Horizon = s.engine.Now()
+	return s.schedule
+}
+
+// submit admits a job: record it, unlock dependency-free stages, enqueue
+// their tasks, and try to place work.
+func (s *scheduler) submit(now time.Duration, spec *workload.JobSpec) {
+	jr := &jobRun{
+		spec:      spec,
+		remaining: make([]int, len(spec.Stages)),
+		unlocked:  make([]bool, len(spec.Stages)),
+		recIdx:    len(s.schedule.Jobs),
+	}
+	s.schedule.Jobs = append(s.schedule.Jobs, JobRecord{
+		ID:       spec.ID,
+		Tenant:   spec.Tenant,
+		Submit:   now,
+		Deadline: spec.Deadline,
+	})
+	for i := range spec.Stages {
+		jr.remaining[i] = len(spec.Stages[i].Tasks)
+	}
+	ts := s.tenants[spec.Tenant]
+	for i := range spec.Stages {
+		if len(spec.Stages[i].DependsOn) == 0 {
+			s.unlockStage(ts, jr, i)
+		}
+	}
+	if s.opts.Noise != nil {
+		if killAt, ok := s.opts.Noise.jobKillTime(s.rng, spec, now); ok {
+			jr.killEv = s.engine.At(killAt, prioKill, func(t time.Duration) {
+				s.killJob(t, ts, jr)
+			})
+		}
+	}
+	s.assign(now)
+}
+
+// unlockStage enqueues a stage's tasks at the tail of the tenant queue.
+func (s *scheduler) unlockStage(ts *tenantState, jr *jobRun, stage int) {
+	jr.unlocked[stage] = true
+	specs := jr.spec.Stages[stage].Tasks
+	for i := range specs {
+		ts.pending = append(ts.pending, &task{
+			job:      jr,
+			stage:    stage,
+			index:    i,
+			kind:     specs[i].Kind,
+			duration: specs[i].Duration,
+		})
+	}
+}
+
+// assign places pending tasks onto free containers following fair-scheduler
+// order: tenants below their min share first (most deficient relative to
+// the floor), then tenants most below their weighted fair share.
+func (s *scheduler) assign(now time.Duration) {
+	if s.free > 0 {
+		s.computeFairShares()
+		for s.free > 0 {
+			ts := s.pickTenant()
+			if ts == nil {
+				break
+			}
+			s.launch(now, ts)
+		}
+	}
+	s.updateStarvation(now)
+}
+
+// pickTenant returns the next tenant entitled to a container, or nil.
+// Order: below-min-share tenants first (most deficient relative to the
+// floor), then lowest running/weight ratio; ratio ties go to the heavier
+// tenant (as in YARN's fair-share comparator) so synchronized task waves
+// don't systematically skew the split, then to the lexicographically
+// smaller name for determinism.
+func (s *scheduler) pickTenant() *tenantState {
+	var best *tenantState
+	var bestBelowMin bool
+	var bestKey float64
+	const eps = 1e-9
+	for _, ts := range s.tenantList {
+		if len(ts.pending) == 0 || ts.running >= ts.effMax(s.capacity) {
+			continue
+		}
+		belowMin := ts.running < ts.minTarget(s.capacity)
+		var key float64
+		if belowMin {
+			key = float64(ts.running) / math.Max(float64(ts.cfg.MinShare), 1)
+		} else {
+			key = float64(ts.running) / ts.cfg.Weight
+		}
+		switch {
+		case best == nil,
+			belowMin && !bestBelowMin,
+			belowMin == bestBelowMin && key < bestKey-eps,
+			belowMin == bestBelowMin && math.Abs(key-bestKey) <= eps && ts.cfg.Weight > best.cfg.Weight:
+			best, bestBelowMin, bestKey = ts, belowMin, key
+		}
+	}
+	return best
+}
+
+// launch starts the tenant's next pending task in a free container.
+func (s *scheduler) launch(now time.Duration, ts *tenantState) {
+	t := s.popPending(ts)
+	if t == nil {
+		return
+	}
+	t.attempt++
+	dur := t.duration
+	fail := false
+	if s.opts.Noise != nil {
+		dur, fail = s.opts.Noise.attemptDuration(s.rng, dur)
+	}
+	rt := &runningTask{
+		t:         t,
+		tenant:    ts,
+		start:     now,
+		recIdx:    len(s.schedule.Tasks),
+		launchSeq: s.launchSeq,
+	}
+	s.launchSeq++
+	s.schedule.Tasks = append(s.schedule.Tasks, TaskRecord{
+		JobID:   t.job.spec.ID,
+		Tenant:  ts.name,
+		Kind:    t.kind,
+		Attempt: t.attempt,
+		Start:   now,
+		Outcome: TaskTruncated, // finalized on completion
+	})
+	s.free--
+	ts.running++
+	ts.ranked = append(ts.ranked, rt)
+	t.job.running = append(t.job.running, rt)
+	s.allRun = append(s.allRun, rt)
+	outcome := TaskFinished
+	if fail {
+		outcome = TaskFailed
+	}
+	rt.finishEv = s.engine.At(now+dur, prioFinish, func(end time.Duration) {
+		s.finish(end, rt, outcome)
+	})
+}
+
+// popPending removes and returns the tenant's next live pending task,
+// discarding tasks whose job has been killed.
+func (s *scheduler) popPending(ts *tenantState) *task {
+	for len(ts.pending) > 0 {
+		t := ts.pending[0]
+		ts.pending = ts.pending[1:]
+		if !t.job.killed {
+			return t
+		}
+	}
+	return nil
+}
+
+// finish ends an attempt with the given outcome. Failed attempts requeue.
+func (s *scheduler) finish(now time.Duration, rt *runningTask, outcome TaskOutcome) {
+	s.release(now, rt, outcome)
+	t := rt.t
+	switch outcome {
+	case TaskFinished:
+		jr := t.job
+		jr.remaining[t.stage]--
+		if jr.remaining[t.stage] == 0 {
+			s.stageComplete(now, jr, t.stage)
+		}
+	case TaskFailed:
+		// Lost work; the task restarts from scratch at the queue tail.
+		rt.tenant.pending = append(rt.tenant.pending, t)
+	}
+	s.assign(now)
+}
+
+// release frees the container and finalizes the attempt record.
+func (s *scheduler) release(now time.Duration, rt *runningTask, outcome TaskOutcome) {
+	if rt.done {
+		return
+	}
+	rt.done = true
+	if rt.finishEv != nil {
+		rt.finishEv.Cancel()
+	}
+	rec := &s.schedule.Tasks[rt.recIdx]
+	rec.End = now
+	rec.Outcome = outcome
+	rt.tenant.running--
+	s.free++
+}
+
+// stageComplete unlocks dependent stages and finishes the job when all
+// stages are done.
+func (s *scheduler) stageComplete(now time.Duration, jr *jobRun, stage int) {
+	ts := s.tenants[jr.spec.Tenant]
+	for i := range jr.spec.Stages {
+		if jr.unlocked[i] {
+			continue
+		}
+		ready := true
+		for _, d := range jr.spec.Stages[i].DependsOn {
+			if jr.remaining[d] > 0 {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			s.unlockStage(ts, jr, i)
+		}
+	}
+	for _, rem := range jr.remaining {
+		if rem > 0 {
+			return
+		}
+	}
+	jr.finished = true
+	if jr.killEv != nil {
+		jr.killEv.Cancel()
+	}
+	rec := &s.schedule.Jobs[jr.recIdx]
+	rec.Finish = now
+	rec.Completed = true
+}
+
+// killJob emulates a user/DBA killing a job: pending tasks evaporate and
+// running attempts are terminated, their work lost.
+func (s *scheduler) killJob(now time.Duration, ts *tenantState, jr *jobRun) {
+	if jr.finished || jr.killed {
+		return
+	}
+	jr.killed = true
+	// Remove the job's pending tasks from the tenant queue.
+	kept := ts.pending[:0]
+	for _, t := range ts.pending {
+		if t.job != jr {
+			kept = append(kept, t)
+		}
+	}
+	ts.pending = kept
+	for _, rt := range jr.running {
+		if !rt.done {
+			s.release(now, rt, TaskKilled)
+		}
+	}
+	jr.running = nil
+	rec := &s.schedule.Jobs[jr.recIdx]
+	rec.Finish = now
+	rec.Killed = true
+	s.assign(now)
+}
+
+// computeFairShares runs weighted water-filling with floors (min shares),
+// ceilings (max shares), and demand caps, storing each tenant's
+// instantaneous fair share.
+func (s *scheduler) computeFairShares() {
+	type ws struct {
+		ts    *tenantState
+		cap   float64
+		floor float64
+		share float64
+		fixed bool
+	}
+	var active []*ws
+	var floorSum float64
+	for _, ts := range s.tenantList {
+		ts.fairShare = 0
+		d := ts.demand()
+		if d == 0 {
+			continue
+		}
+		capacity := math.Min(float64(ts.effMax(s.capacity)), float64(d))
+		floor := math.Min(float64(ts.minTarget(s.capacity)), capacity)
+		active = append(active, &ws{ts: ts, cap: capacity, floor: floor})
+		floorSum += floor
+	}
+	if len(active) == 0 {
+		return
+	}
+	total := float64(s.capacity)
+	if floorSum > total {
+		// Overcommitted min shares: scale floors down proportionally.
+		for _, w := range active {
+			w.share = w.floor * total / floorSum
+			w.ts.fairShare = w.share
+		}
+		return
+	}
+	remaining := total - floorSum
+	for _, w := range active {
+		w.share = w.floor
+	}
+	// Water-fill the remainder by weight, fixing tenants that hit caps.
+	for iter := 0; iter < len(active)+1; iter++ {
+		var wsum float64
+		for _, w := range active {
+			if !w.fixed {
+				wsum += w.ts.cfg.Weight
+			}
+		}
+		if wsum == 0 || remaining <= 1e-9 {
+			break
+		}
+		overflow := false
+		for _, w := range active {
+			if w.fixed {
+				continue
+			}
+			prop := w.share + remaining*w.ts.cfg.Weight/wsum
+			if prop >= w.cap {
+				remaining -= w.cap - w.share
+				w.share = w.cap
+				w.fixed = true
+				overflow = true
+			}
+		}
+		if !overflow {
+			for _, w := range active {
+				if !w.fixed {
+					w.share += remaining * w.ts.cfg.Weight / wsum
+				}
+			}
+			break
+		}
+	}
+	for _, w := range active {
+		w.ts.fairShare = w.share
+	}
+}
+
+// updateStarvation maintains the two starvation clocks per tenant and the
+// preemption-check events they arm.
+func (s *scheduler) updateStarvation(now time.Duration) {
+	s.computeFairShares()
+	for _, ts := range s.tenantList {
+		starvedMin := len(ts.pending) > 0 && ts.running < ts.minTarget(s.capacity)
+		starvedShare := len(ts.pending) > 0 && float64(ts.running) < ts.fairShare-1e-9
+		s.armClock(now, ts, starvedMin, &ts.starvedMinSince, &ts.minCheckEv, ts.cfg.MinSharePreemptTimeout, true)
+		s.armClock(now, ts, starvedShare, &ts.starvedShareSince, &ts.shareCheckEv, ts.cfg.SharePreemptTimeout, false)
+	}
+}
+
+func (s *scheduler) armClock(now time.Duration, ts *tenantState, starved bool, since *time.Duration, ev **sim.Event, timeout time.Duration, minLevel bool) {
+	if !starved {
+		*since = -1
+		if *ev != nil {
+			(*ev).Cancel()
+			*ev = nil
+		}
+		return
+	}
+	if timeout <= 0 {
+		return // preemption disabled at this level
+	}
+	if *since < 0 {
+		*since = now
+	}
+	if *ev == nil {
+		fireAt := *since + timeout
+		*ev = s.engine.At(fireAt, prioPreempt, func(t time.Duration) {
+			*ev = nil
+			s.preemptCheck(t, ts, minLevel)
+		})
+	}
+}
+
+// preemptCheck fires when a tenant has been continuously starved for its
+// configured timeout: kill the most recently launched tasks of over-share
+// tenants until the starved tenant can reach its target.
+func (s *scheduler) preemptCheck(now time.Duration, ts *tenantState, minLevel bool) {
+	s.computeFairShares()
+	var since time.Duration
+	var target int
+	if minLevel {
+		since = ts.starvedMinSince
+		target = ts.minTarget(s.capacity)
+	} else {
+		since = ts.starvedShareSince
+		target = int(math.Floor(ts.fairShare + 1e-9))
+	}
+	timeout := ts.cfg.MinSharePreemptTimeout
+	if !minLevel {
+		timeout = ts.cfg.SharePreemptTimeout
+	}
+	if since < 0 || len(ts.pending) == 0 || now < since+timeout {
+		s.updateStarvation(now)
+		return
+	}
+	// Restart the starvation window so the next check (if the tenant stays
+	// starved, e.g. because no victims were eligible) fires one full
+	// timeout from now rather than immediately.
+	if minLevel {
+		ts.starvedMinSince = now
+	} else {
+		ts.starvedShareSince = now
+	}
+	need := target - ts.running - s.free
+	if need > 0 {
+		s.killVictims(now, ts, need)
+	}
+	s.assign(now)
+}
+
+// killVictims preempts up to need containers from tenants running above
+// their fair share, most recently launched attempts first.
+func (s *scheduler) killVictims(now time.Duration, starved *tenantState, need int) {
+	var victims []*runningTask
+	for _, ts := range s.tenantList {
+		if ts == starved {
+			continue
+		}
+		over := float64(ts.running) - ts.fairShare
+		if over < 1 {
+			continue
+		}
+		// Candidates: newest first, at most `over` from this tenant so we
+		// never push a victim below its own fair share.
+		allowed := int(over)
+		taken := 0
+		for i := len(ts.ranked) - 1; i >= 0 && taken < allowed; i-- {
+			rt := ts.ranked[i]
+			if rt.done {
+				continue
+			}
+			victims = append(victims, rt)
+			taken++
+		}
+		ts.compactRanked()
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].launchSeq > victims[j].launchSeq })
+	for _, rt := range victims {
+		if need <= 0 {
+			break
+		}
+		s.preempt(now, rt)
+		need--
+	}
+}
+
+// preempt kills one attempt; the task restarts from scratch at the front of
+// its tenant's queue (it keeps its place in line, but its work is lost —
+// the effect Figure 1 illustrates).
+func (s *scheduler) preempt(now time.Duration, rt *runningTask) {
+	s.release(now, rt, TaskPreempted)
+	rt.tenant.pending = append([]*task{rt.t}, rt.tenant.pending...)
+}
+
+// compactRanked drops completed attempts from the launch-order list.
+func (t *tenantState) compactRanked() {
+	kept := t.ranked[:0]
+	for _, rt := range t.ranked {
+		if !rt.done {
+			kept = append(kept, rt)
+		}
+	}
+	t.ranked = kept
+}
+
+// truncate finalizes attempts still running at the horizon.
+func (s *scheduler) truncate(horizon time.Duration) {
+	for _, rt := range s.allRun {
+		if rt.done {
+			continue
+		}
+		rec := &s.schedule.Tasks[rt.recIdx]
+		rec.End = horizon
+		rec.Outcome = TaskTruncated
+		rt.done = true
+	}
+	for i := range s.schedule.Jobs {
+		rec := &s.schedule.Jobs[i]
+		if !rec.Completed && !rec.Killed {
+			rec.Finish = horizon
+		}
+	}
+}
+
+// String renders a compact summary, handy in tests and logs.
+func (s *Schedule) String() string {
+	useful, wasted := s.ContainerSeconds()
+	return fmt.Sprintf("schedule{jobs=%d tasks=%d preempted=%d useful=%s wasted=%s horizon=%s}",
+		len(s.Jobs), len(s.Tasks), s.PreemptionCount("", nil), useful, wasted, s.Horizon)
+}

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"tempo/internal/workload"
+)
+
+func TestWithSubTenantsSplitsEvenly(t *testing.T) {
+	cfg := Config{TotalContainers: 40, Tenants: map[string]TenantConfig{
+		"DEV":   {Weight: 3, MinShare: 10, MaxShare: 30, SharePreemptTimeout: time.Minute, MinSharePreemptTimeout: 30 * time.Second},
+		"other": {Weight: 1},
+	}}
+	out := cfg.WithSubTenants("DEV", []string{"DEV/size0", "DEV/size1"})
+	if _, ok := out.Tenants["DEV"]; ok {
+		t.Fatal("parent tenant still present")
+	}
+	a := out.Tenants["DEV/size0"]
+	b := out.Tenants["DEV/size1"]
+	if a.Weight != 1.5 || b.Weight != 1.5 {
+		t.Fatalf("weights = %v, %v", a.Weight, b.Weight)
+	}
+	if a.MinShare+b.MinShare != 10 {
+		t.Fatalf("min shares %d + %d != 10", a.MinShare, b.MinShare)
+	}
+	if a.MaxShare != 15 || b.MaxShare != 15 {
+		t.Fatalf("max shares = %d, %d", a.MaxShare, b.MaxShare)
+	}
+	if a.SharePreemptTimeout != time.Minute || a.MinSharePreemptTimeout != 30*time.Second {
+		t.Fatal("preemption timeouts not inherited")
+	}
+	if out.Tenants["other"].Weight != 1 {
+		t.Fatal("unrelated tenant disturbed")
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Original untouched.
+	if cfg.Tenants["DEV"].Weight != 3 {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestWithSubTenantsRemainderAndFloors(t *testing.T) {
+	cfg := Config{TotalContainers: 40, Tenants: map[string]TenantConfig{
+		"T": {Weight: 1, MinShare: 7, MaxShare: 2},
+	}}
+	out := cfg.WithSubTenants("T", []string{"a", "b", "c"})
+	total := 0
+	for _, sub := range []string{"a", "b", "c"} {
+		tc := out.Tenants[sub]
+		total += tc.MinShare
+		if tc.MaxShare < 1 {
+			t.Fatalf("max share floored below 1: %d", tc.MaxShare)
+		}
+		if tc.MinShare > tc.MaxShare {
+			t.Fatalf("min %d > max %d", tc.MinShare, tc.MaxShare)
+		}
+	}
+	// MaxShare 2 / 3 floors to 1 each, so min shares are clamped to max.
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out.WithSubTenants("a", nil).Tenants["a"].Weight == 0 {
+		t.Fatal("empty subs should be a no-op clone")
+	}
+}
+
+func TestWithSubTenantsUnknownParentUsesDefault(t *testing.T) {
+	cfg := Config{TotalContainers: 10, Tenants: map[string]TenantConfig{}}
+	out := cfg.WithSubTenants("ghost", []string{"g1", "g2"})
+	if out.Tenants["g1"].Weight != 0.5 {
+		t.Fatalf("default split weight = %v", out.Tenants["g1"].Weight)
+	}
+}
+
+// Integration: a decomposed trace scheduled under a split configuration
+// behaves (capacity invariants hold, jobs complete) and the small size
+// class is no longer stuck behind the big one.
+func TestDecomposedTraceSchedules(t *testing.T) {
+	var jobs []workload.JobSpec
+	// A burst of big jobs then small jobs, all on one queue.
+	for i := 0; i < 4; i++ {
+		big := make([]time.Duration, 20)
+		for j := range big {
+			big[j] = 10 * time.Minute
+		}
+		jobs = append(jobs, workload.NewMapReduceJob("big-"+string(rune('a'+i)), "mixed", 0, big, nil))
+	}
+	for i := 0; i < 10; i++ {
+		jobs = append(jobs, workload.NewMapReduceJob("small-"+string(rune('a'+i)), "mixed",
+			time.Duration(i)*time.Second, []time.Duration{5 * time.Second}, nil))
+	}
+	tr := &workload.Trace{Name: "mix", Horizon: time.Hour, Jobs: jobs}
+	tr.Sort()
+
+	// Monolithic queue: smalls queue behind the bigs (FIFO per tenant).
+	mono := Config{TotalContainers: 10, Tenants: map[string]TenantConfig{"mixed": {Weight: 1}}}
+	sMono, err := Predict(tr, mono)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	decomposed, dec, err := workload.Decompose(tr, "mixed", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := mono.WithSubTenants("mixed", dec.SubTenants)
+	sSplit, err := Predict(decomposed, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	meanSmall := func(s *Schedule) time.Duration {
+		var sum time.Duration
+		n := 0
+		for _, j := range s.Jobs {
+			if len(j.ID) >= 5 && j.ID[:5] == "small" && j.Completed {
+				sum += j.Finish - j.Submit
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatal("no small jobs completed")
+		}
+		return sum / time.Duration(n)
+	}
+	if got, was := meanSmall(sSplit), meanSmall(sMono); got >= was {
+		t.Fatalf("decomposition did not help small jobs: %v vs %v", got, was)
+	}
+	for _, p := range sSplit.UsageTimeline("") {
+		if p.Count > split.TotalContainers {
+			t.Fatal("capacity exceeded under split config")
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tempo/internal/cluster"
+	"tempo/internal/workload"
+)
+
+func TestExpertConfigsValid(t *testing.T) {
+	abc := ExpertABCConfig(ABCCapacity)
+	if err := abc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	two := ExpertTwoTenantConfig(EC2Capacity)
+	if err := two.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconstructTrace(t *testing.T) {
+	tr, err := workload.Generate(TwoTenantProfiles(1), workload.GenerateOptions{Horizon: time.Hour, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cluster.Run(tr, ExpertTwoTenantConfig(80), cluster.Options{Horizon: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := ReconstructTrace(s, "harvest")
+	if err := rec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Jobs) == 0 {
+		t.Fatal("reconstructed trace empty")
+	}
+	completed := 0
+	for i := range s.Jobs {
+		if s.Jobs[i].Completed {
+			completed++
+		}
+	}
+	if len(rec.Jobs) > completed {
+		t.Fatalf("reconstructed %d jobs from %d completed", len(rec.Jobs), completed)
+	}
+	// A deterministically re-run reconstruction should preserve total work
+	// for fully-completed jobs.
+	for i := range rec.Jobs {
+		if rec.Jobs[i].TaskCount() == 0 {
+			t.Fatal("job with no tasks")
+		}
+	}
+}
+
+func TestTableHelperAlignment(t *testing.T) {
+	out := table([]string{"a", "long-header"}, [][]string{{"xxxx", "y"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Fatalf("separator misaligned:\n%s", out)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	res, err := Table1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("tenants = %d, want 6", len(res.Rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range res.Rows {
+		byName[r.Tenant] = r
+	}
+	// Table 1 shapes: MV has the longest reduces; APP the smallest jobs;
+	// STR is map-only; deadlines exactly for APP/MV/ETL.
+	if byName["MV"].MeanReduceSec <= byName["APP"].MeanReduceSec {
+		t.Errorf("MV reduce duration %v should exceed APP %v", byName["MV"].MeanReduceSec, byName["APP"].MeanReduceSec)
+	}
+	if byName["APP"].MeanMaps >= byName["MV"].MeanMaps {
+		t.Errorf("APP jobs should be smaller than MV jobs")
+	}
+	if byName["STR"].MeanReduces != 0 {
+		t.Errorf("STR should be map-only, got %v reduces", byName["STR"].MeanReduces)
+	}
+	for name, want := range map[string]bool{"BI": false, "DEV": false, "APP": true, "STR": false, "MV": true, "ETL": true} {
+		if byName[name].Deadlines != want {
+			t.Errorf("%s deadlines = %v, want %v", name, byName[name].Deadlines, want)
+		}
+	}
+	if !strings.Contains(res.Render(), "ETL") {
+		t.Fatal("render missing tenants")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	res, err := Table2(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("tenants = %d, want 6", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.RAE <= 0 || row.RAE > 0.8 {
+			t.Errorf("%s RAE = %v outside plausible (0, 0.8]", row.Tenant, row.RAE)
+		}
+		if row.RSE <= 0 || row.RSE > 1.0 {
+			t.Errorf("%s RSE = %v outside plausible (0, 1]", row.Tenant, row.RSE)
+		}
+	}
+	// The paper's predictor did 150k tasks/sec; ours must be at least in
+	// that league.
+	if res.TasksPerSec < 100000 {
+		t.Errorf("prediction throughput %v tasks/sec, want >= 100k", res.TasksPerSec)
+	}
+	if !strings.Contains(res.Render(), "RAE") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	res, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PreemptedTasks != 5 {
+		t.Fatalf("preempted = %d, want 5", res.PreemptedTasks)
+	}
+	if res.EffectiveUtilization >= res.RawUtilization {
+		t.Fatal("effective utilization should be below raw")
+	}
+	if res.WastedContainerTime <= 0 {
+		t.Fatal("no wasted time recorded")
+	}
+	if res.EffectiveUtilization < 0.3 {
+		t.Fatalf("effective utilization %v implausibly low", res.EffectiveUtilization)
+	}
+	if !strings.Contains(res.Render(), "effective") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	res, err := Figure2(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CappedWhileIdleFrac <= 0.02 {
+		t.Fatalf("capped-while-idle fraction %v; anti-correlated tenants under static limits should show clear waste", res.CappedWhileIdleFrac)
+	}
+	if len(res.UsageA) == 0 || len(res.UsageB) == 0 {
+		t.Fatal("usage series empty")
+	}
+	_ = res.Render()
+}
+
+func TestFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	res, err := Figure5(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tenants) != 6 {
+		t.Fatalf("tenants = %v", res.Tenants)
+	}
+	// MV jobs are long; APP jobs are quick.
+	if res.ResponseSec["MV"][1] <= res.ResponseSec["APP"][1] {
+		t.Errorf("MV median response %v should exceed APP %v", res.ResponseSec["MV"][1], res.ResponseSec["APP"][1])
+	}
+	// STR has no reduces.
+	if res.Reduces["STR"][2] != 0 {
+		t.Errorf("STR reduces = %v, want 0", res.Reduces["STR"])
+	}
+	_ = res.Render()
+}
+
+func TestFigure7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	res, err := Figure7(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: reduce preemptions greatly exceed map preemptions, and come
+	// mostly from the best-effort tenant.
+	if res.OverallReduceFrac <= res.OverallMapFrac {
+		t.Errorf("reduce preemption fraction %v should exceed map %v", res.OverallReduceFrac, res.OverallMapFrac)
+	}
+	if res.OverallReduceFrac <= 0 {
+		t.Fatal("no reduce preemptions at all")
+	}
+	if res.BestEffortReduceShare < 0.5 {
+		t.Errorf("best-effort share of reduce preemptions %v, want >= 0.5", res.BestEffortReduceShare)
+	}
+	_ = res.Render()
+}
+
+func TestFigure8Shape(t *testing.T) {
+	res, err := Figure8(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best-effort reduces are the longest tasks (the preemption victims).
+	if res.ReduceBestEffort[2] <= res.ReduceDeadline[2] {
+		t.Errorf("best-effort reduce p90 %v should exceed deadline-driven %v", res.ReduceBestEffort[2], res.ReduceDeadline[2])
+	}
+	if res.ReduceBestEffort[1] <= res.MapBestEffort[1] {
+		t.Errorf("reduces should run longer than maps")
+	}
+	_ = res.Render()
+}
+
+func TestFigure10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	res, err := Figure10(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WeekBestEffort) == 0 || len(res.TwoHourBestEffort) == 0 {
+		t.Fatal("series empty")
+	}
+	// Paper: best-effort latency varies dramatically; deadline-driven is
+	// comparatively stable/periodic.
+	if res.WeekBestEffortSpread <= res.WeekDeadlineSpread {
+		t.Errorf("best-effort spread %.1f should exceed deadline spread %.1f",
+			res.WeekBestEffortSpread, res.WeekDeadlineSpread)
+	}
+	_ = res.Render()
+}
+
+func TestProxyCounterexample(t *testing.T) {
+	res := ProxyCounterexample()
+	if res.WeightedSumFeasible {
+		t.Fatal("weighted sum should pick the infeasible point")
+	}
+	if !res.PALDFeasible {
+		t.Fatal("PALD ordering should pick the feasible point")
+	}
+	if res.PALDPick[0] != 5 || res.PALDPick[1] != 5 {
+		t.Fatalf("PALD picked %v, want (5,5)", res.PALDPick)
+	}
+	_ = res.Render()
+}
+
+func TestGradientAblationShape(t *testing.T) {
+	res, err := GradientAblation(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LoessCosine < 0.7 {
+		t.Fatalf("LOESS cosine %v, want >= 0.7", res.LoessCosine)
+	}
+	_ = res.Render()
+}

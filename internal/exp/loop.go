@@ -1,0 +1,558 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"tempo/internal/cluster"
+	"tempo/internal/core"
+	"tempo/internal/pald"
+	"tempo/internal/qs"
+	"tempo/internal/whatif"
+	"tempo/internal/workload"
+)
+
+// loopCapacity and loopScale put the two-tenant scenario under real
+// contention (~70-80% offered load), where RM configuration genuinely
+// matters — matching the busy production clusters the paper targets.
+const (
+	loopCapacity = 48
+	loopScale    = 2.2
+)
+
+// buildTwoTenantController wires the §8.2 scenario: a deadline tenant with
+// a hard QS_DL constraint and a best-effort tenant whose QS_AJR the loop
+// ratchets, with optional extra templates (Figure 9 adds utilization).
+// Following the paper's protocol, one fixed workload trace is replayed each
+// control interval (with fresh noise), and the What-if Model replays the
+// same trace, so prediction and observation differ only by the noise model.
+func buildTwoTenantController(seed int64, slack float64, extra []qs.Template, interval time.Duration, strategy pald.Strategy, revert core.RevertPolicy) (*core.Controller, error) {
+	profiles := EC2TwoTenantProfiles(loopScale)
+	capacity := loopCapacity
+	trace, err := workload.Generate(profiles, workload.GenerateOptions{
+		Horizon: interval, Seed: seed + 977, Name: "loop-replay",
+	})
+	if err != nil {
+		return nil, err
+	}
+	templates := append([]qs.Template{
+		qs.Template{Queue: "deadline", Metric: qs.DeadlineViolations, Slack: slack}.WithTarget(0.0),
+		{Queue: "besteffort", Metric: qs.AvgResponseTime},
+	}, extra...)
+	model, err := whatif.FromTrace(templates, trace)
+	if err != nil {
+		return nil, err
+	}
+	model.Horizon = interval // match the observation window exactly
+	env := &core.ReplayEnvironment{
+		Trace: trace,
+		Noise: cluster.DefaultNoise(seed + 13),
+		Seed:  seed,
+	}
+	cfg := core.Config{
+		Space:       cluster.DefaultSpace(capacity, []string{"deadline", "besteffort"}),
+		Templates:   templates,
+		Model:       model,
+		Environment: env,
+		Interval:    interval,
+		Candidates:  5,
+		Strategy:    strategy,
+		Revert:      revert,
+		PALD:        pald.Options{Seed: seed + 29, MaxStep: 0.2},
+	}
+	return core.NewController(cfg, ExpertTwoTenantConfig(capacity))
+}
+
+// Figure6Series is one slack setting's trajectory.
+type Figure6Series struct {
+	Slack float64
+	// NormalizedAJR is best-effort QS_AJR divided by iteration 0's value.
+	NormalizedAJR []float64
+	// DeadlineViolationPct is QS_DL × 100 per iteration.
+	DeadlineViolationPct []float64
+	// Improvement is the relative AJR reduction at convergence.
+	Improvement float64
+}
+
+// Figure6Result is the control-loop convergence experiment (§8.2.1).
+type Figure6Result struct {
+	Iterations int
+	Series     []Figure6Series
+}
+
+// Figure6 runs the Tempo control loop for 25% and 50% deadline slack and
+// records the per-iteration SLO trajectory, as in Figure 6.
+func Figure6(seed int64, iterations int) (*Figure6Result, error) {
+	if iterations <= 0 {
+		iterations = 20
+	}
+	res := &Figure6Result{Iterations: iterations}
+	for _, slack := range []float64{0.25, 0.5} {
+		ctl, err := buildTwoTenantController(seed, slack, nil, time.Hour, nil, core.RevertOnWorse)
+		if err != nil {
+			return nil, err
+		}
+		history, err := ctl.Run(iterations)
+		if err != nil {
+			return nil, err
+		}
+		series := Figure6Series{Slack: slack}
+		base := history[0].Observed[1]
+		if base <= 0 {
+			base = 1
+		}
+		for _, it := range history {
+			series.NormalizedAJR = append(series.NormalizedAJR, it.Observed[1]/base)
+			series.DeadlineViolationPct = append(series.DeadlineViolationPct, it.Observed[0]*100)
+		}
+		series.Improvement = core.Improvement(history, 1)
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// Render prints the two trajectories.
+func (r *Figure6Result) Render() string {
+	var rows [][]string
+	for _, s := range r.Series {
+		for i := range s.NormalizedAJR {
+			rows = append(rows, []string{
+				fmt.Sprintf("%.0f%%", s.Slack*100),
+				fmt.Sprintf("%d", i),
+				fmt.Sprintf("%.3f", s.NormalizedAJR[i]),
+				fmt.Sprintf("%.1f", s.DeadlineViolationPct[i]),
+			})
+		}
+	}
+	head := "Figure 6: control-loop trajectory"
+	for _, s := range r.Series {
+		head += fmt.Sprintf(" | slack %.0f%%: AJR improvement %.0f%%", s.Slack*100, s.Improvement*100)
+	}
+	return head + "\n" + table([]string{"slack", "iter", "AJR (norm)", "DL viol %"}, rows)
+}
+
+// Figure9Result compares the four SLOs before and after optimization.
+type Figure9Result struct {
+	// Values are [AJR seconds, DL fraction, map effective-work fraction,
+	// reduce effective-work fraction]. The effective-work fraction is
+	// useful container time divided by total busy container time per kind
+	// — exactly the quantity Figure 1 motivates (preempted work is the
+	// lost region I) and the lever behind Figure 9's reduce-utilization
+	// gain.
+	Original, Optimized [4]float64
+	// Improvements are relative changes, positive = better.
+	Improvements [4]float64
+	// PreemptionsOriginal/Optimized count killed attempts on the verify
+	// replay — the mechanism behind the reduce-utilization gain.
+	PreemptionsOriginal, PreemptionsOptimized int
+}
+
+// fig9Profiles is the §8.2.2 mix: a deadline tenant plus a best-effort
+// tenant with long reduce tasks, the preemption victims the paper reports
+// (23% of reduce tasks preempted, mostly best-effort).
+func fig9Profiles() []workload.TenantProfile {
+	dd := workload.Cloudera("deadline", 2.2)
+	dd.DeadlineFactor = workload.Uniform{Lo: 1.1, Hi: 1.8}
+	dd.DeadlineParallelism = 16
+	be := workload.BestEffort("besteffort", 1.6)
+	return []workload.TenantProfile{dd, be}
+}
+
+// fig9Expert is the badly tuned expert configuration: hair-trigger
+// preemption timeouts for the deadline tenant, which shred the best-effort
+// tenant's long reduces.
+func fig9Expert(capacity int) cluster.Config {
+	return cluster.Config{
+		TotalContainers: capacity,
+		Tenants: map[string]cluster.TenantConfig{
+			"deadline": {
+				Weight:                 2,
+				MinShare:               capacity / 2,
+				MinSharePreemptTimeout: 15 * time.Second,
+				SharePreemptTimeout:    45 * time.Second,
+			},
+			"besteffort": {Weight: 1},
+		},
+	}
+}
+
+// Figure9 is the utilization scenario (§8.2.2): the preemption-prone mix
+// plus map/reduce effective-utilization SLOs whose targets are set to the
+// levels measured under the expert configuration.
+func Figure9(seed int64, iterations int) (*Figure9Result, error) {
+	if iterations <= 0 {
+		iterations = 15
+	}
+	mapKind := workload.Map
+	redKind := workload.Reduce
+	profiles := fig9Profiles()
+	capacity := loopCapacity
+	interval := 2 * time.Hour
+	trace, err := workload.Generate(profiles, workload.GenerateOptions{Horizon: interval, Seed: seed + 977, Name: "fig9"})
+	if err != nil {
+		return nil, err
+	}
+	expert := fig9Expert(capacity)
+	probe, err := cluster.Run(trace, expert, cluster.Options{Horizon: interval, Noise: cluster.DefaultNoise(seed + 4)})
+	if err != nil {
+		return nil, err
+	}
+	utilMapTpl := qs.Template{Metric: qs.Utilization, TaskKind: &mapKind, EffectiveOnly: true}
+	utilRedTpl := qs.Template{Metric: qs.Utilization, TaskKind: &redKind, EffectiveOnly: true}
+	dlTpl := qs.Template{Queue: "deadline", Metric: qs.DeadlineViolations, Slack: 0.25}
+	end := probe.Horizon + time.Nanosecond
+	// As in the paper, every r_i is the level measured under the expert
+	// configuration: deadlines must not get worse, utilizations must not
+	// drop, and the best-effort response time ratchets downward.
+	templates := []qs.Template{
+		dlTpl.WithTarget(dlTpl.Eval(probe, 0, end)),
+		{Queue: "besteffort", Metric: qs.AvgResponseTime},
+		utilMapTpl.WithTarget(utilMapTpl.Eval(probe, 0, end)),
+		utilRedTpl.WithTarget(utilRedTpl.Eval(probe, 0, end)),
+	}
+	model, err := whatif.FromTrace(templates, trace)
+	if err != nil {
+		return nil, err
+	}
+	model.Horizon = interval
+	ctl, err := core.NewController(core.Config{
+		Space:       cluster.DefaultSpace(capacity, []string{"deadline", "besteffort"}),
+		Templates:   templates,
+		Model:       model,
+		Environment: &core.ReplayEnvironment{Trace: trace, Noise: cluster.DefaultNoise(seed + 13), Seed: seed},
+		Interval:    interval,
+		Candidates:  5,
+		PALD:        pald.Options{Seed: seed + 29, MaxStep: 0.2},
+	}, expert)
+	if err != nil {
+		return nil, err
+	}
+	history, err := ctl.Run(iterations)
+	if err != nil {
+		return nil, err
+	}
+
+	// Verify on a deterministic replay of the same workload: expert vs
+	// final configuration.
+	finalCfg := ctl.Current()
+	sExpert, err := cluster.Run(trace, expert, cluster.Options{Horizon: interval})
+	if err != nil {
+		return nil, err
+	}
+	sFinal, err := cluster.Run(trace, finalCfg, cluster.Options{Horizon: interval})
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure9Result{
+		PreemptionsOriginal:  sExpert.PreemptionCount("", nil),
+		PreemptionsOptimized: sFinal.PreemptionCount("", nil),
+	}
+	fill := func(s *cluster.Schedule, out *[4]float64) {
+		e := s.Horizon + time.Nanosecond
+		out[1] = qs.Template{Queue: "deadline", Metric: qs.DeadlineViolations, Slack: 0.25}.Eval(s, 0, e)
+		out[2] = effectiveWorkFraction(s, workload.Map)
+		out[3] = effectiveWorkFraction(s, workload.Reduce)
+	}
+	fill(sExpert, &res.Original)
+	fill(sFinal, &res.Optimized)
+	// AJR is compared over the jobs completed in *both* runs: the windowed
+	// job set shifts when the configuration changes (more long jobs finish
+	// under the better config), and a paired comparison removes that
+	// survivorship bias.
+	res.Original[0], res.Optimized[0] = pairedAJR(sExpert, sFinal, "besteffort")
+	for i := range res.Original {
+		if res.Original[i] != 0 {
+			switch i {
+			case 0, 1: // lower is better
+				res.Improvements[i] = (res.Original[i] - res.Optimized[i]) / res.Original[i]
+			default: // higher is better
+				res.Improvements[i] = (res.Optimized[i] - res.Original[i]) / res.Original[i]
+			}
+		}
+	}
+	_ = history
+	return res, nil
+}
+
+// pairedAJR returns the mean response time of the tenant's jobs that
+// completed in both schedules.
+func pairedAJR(a, b *cluster.Schedule, tenant string) (meanA, meanB float64) {
+	respA := map[string]float64{}
+	for i := range a.Jobs {
+		j := &a.Jobs[i]
+		if j.Tenant == tenant && j.Completed {
+			respA[j.ID] = (j.Finish - j.Submit).Seconds()
+		}
+	}
+	var sumA, sumB float64
+	n := 0
+	for i := range b.Jobs {
+		j := &b.Jobs[i]
+		if j.Tenant != tenant || !j.Completed {
+			continue
+		}
+		ra, ok := respA[j.ID]
+		if !ok {
+			continue
+		}
+		sumA += ra
+		sumB += (j.Finish - j.Submit).Seconds()
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sumA / float64(n), sumB / float64(n)
+}
+
+// effectiveWorkFraction returns useful/(useful+wasted) container time for
+// one task kind.
+func effectiveWorkFraction(s *cluster.Schedule, kind workload.TaskKind) float64 {
+	var useful, wasted time.Duration
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		if t.Kind != kind {
+			continue
+		}
+		switch t.Outcome {
+		case cluster.TaskFinished:
+			useful += t.Duration()
+		case cluster.TaskPreempted, cluster.TaskFailed, cluster.TaskKilled:
+			wasted += t.Duration()
+		}
+	}
+	total := useful + wasted
+	if total <= 0 {
+		return 1
+	}
+	return float64(useful) / float64(total)
+}
+
+// Render prints the four-bar comparison.
+func (r *Figure9Result) Render() string {
+	names := []string{"AJR (s)", "DL fraction", "map effective-work", "reduce effective-work"}
+	var rows [][]string
+	for i, n := range names {
+		rows = append(rows, []string{
+			n,
+			fmt.Sprintf("%.3f", r.Original[i]),
+			fmt.Sprintf("%.3f", r.Optimized[i]),
+			fmt.Sprintf("%+.1f%%", r.Improvements[i]*100),
+		})
+	}
+	return fmt.Sprintf("Figure 9: SLOs under original vs optimized config (preempted attempts %d -> %d)\n",
+		r.PreemptionsOriginal, r.PreemptionsOptimized) +
+		table([]string{"SLO", "original", "optimized", "improvement"}, rows)
+}
+
+// Figure11Row is one control-interval length's outcome.
+type Figure11Row struct {
+	Interval time.Duration
+	// NormalizedAJR is the final-half mean best-effort AJR divided by the
+	// untuned (expert) baseline on the same trace.
+	NormalizedAJR float64
+	// DeadlinePct is the final-half deadline violation percentage.
+	DeadlinePct float64
+}
+
+// Figure11Result is the adaptivity-to-interval-length experiment (§8.2.3).
+type Figure11Result struct {
+	BaselineDeadlinePct float64
+	Rows                []Figure11Row
+}
+
+// Figure11 replays one drifting trace through the control loop with
+// interval lengths of 15, 30, and 45 minutes, plus the untuned expert
+// baseline, and compares the SLOs.
+func Figure11(seed int64) (*Figure11Result, error) {
+	horizon := 8 * time.Hour
+	capacity := loopCapacity
+	// A drifting workload: rates shift over the day.
+	profiles := EC2TwoTenantProfiles(loopScale)
+	for i := range profiles {
+		profiles[i].Rate = workload.DiurnalWeekly(0.4, 1)
+	}
+	trace, err := workload.Generate(profiles, workload.GenerateOptions{Horizon: horizon, Seed: seed, Name: "fig11"})
+	if err != nil {
+		return nil, err
+	}
+	templates := []qs.Template{
+		qs.Template{Queue: "deadline", Metric: qs.DeadlineViolations, Slack: 0.25}.WithTarget(0.0),
+		{Queue: "besteffort", Metric: qs.AvgResponseTime},
+	}
+	expert := ExpertTwoTenantConfig(capacity)
+
+	// Baseline: the whole trace under the untuned expert configuration.
+	base, err := cluster.Run(trace, expert, cluster.Options{Horizon: horizon, Noise: cluster.DefaultNoise(seed + 7)})
+	if err != nil {
+		return nil, err
+	}
+	baseVals := qs.EvalAll(templates, base, 0, base.Horizon+time.Nanosecond)
+	baseAJR := baseVals[1]
+	res := &Figure11Result{BaselineDeadlinePct: baseVals[0] * 100}
+
+	for _, interval := range []time.Duration{15 * time.Minute, 30 * time.Minute, 45 * time.Minute} {
+		model, err := whatif.FromProfiles(templates, profiles, interval, seed+101)
+		if err != nil {
+			return nil, err
+		}
+		env := &core.TraceEnvironment{Trace: trace, Noise: cluster.DefaultNoise(seed + 11), Seed: seed}
+		ctl, err := core.NewController(core.Config{
+			Space:       cluster.DefaultSpace(capacity, []string{"deadline", "besteffort"}),
+			Templates:   templates,
+			Model:       model,
+			Environment: env,
+			Interval:    interval,
+			Candidates:  5,
+			PALD:        pald.Options{Seed: seed + 31, MaxStep: 0.25},
+		}, expert)
+		if err != nil {
+			return nil, err
+		}
+		iters := int(horizon / interval)
+		history, err := ctl.Run(iters)
+		if err != nil {
+			return nil, err
+		}
+		half := history[len(history)/2:]
+		var ajr, dl float64
+		n := 0
+		for _, it := range half {
+			if it.Observed[1] > 0 {
+				ajr += it.Observed[1]
+				dl += it.Observed[0]
+				n++
+			}
+		}
+		if n > 0 {
+			ajr /= float64(n)
+			dl /= float64(n)
+		}
+		row := Figure11Row{Interval: interval, DeadlinePct: dl * 100}
+		if baseAJR > 0 {
+			row.NormalizedAJR = ajr / baseAJR
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the comparison.
+func (r *Figure11Result) Render() string {
+	rows := [][]string{{"original", "1.000", fmt.Sprintf("%.1f", r.BaselineDeadlinePct)}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Interval.String(),
+			fmt.Sprintf("%.3f", row.NormalizedAJR),
+			fmt.Sprintf("%.1f", row.DeadlinePct),
+		})
+	}
+	return "Figure 11: SLOs vs control-loop interval length\n" +
+		table([]string{"interval", "AJR (norm)", "DL viol %"}, rows)
+}
+
+// Figure12Row is one source-cluster size's estimation errors.
+type Figure12Row struct {
+	SourceFraction float64 // 1.0, 0.5, 0.25
+	// Errors are signed percentages for [best-effort latency,
+	// deadline-driven latency, map utilization, reduce utilization].
+	Errors [4]float64
+	// MaxAbsError is the worst of the four.
+	MaxAbsError float64
+}
+
+// Figure12Result is the resource-provisioning experiment (§8.2.4).
+type Figure12Result struct {
+	Rows []Figure12Row
+}
+
+// Figure12 estimates the SLOs of the full-size (100%) cluster using traces
+// collected on 100%, 50%, and 25% clusters: each source run's observed
+// schedule is harvested into a trace, statistical profiles are re-fitted
+// from it, and the What-if Model predicts the full cluster's SLOs, which
+// are compared against the measured ground truth.
+func Figure12(seed int64) (*Figure12Result, error) {
+	horizon := 6 * time.Hour
+	fullCapacity := EC2Capacity
+	profiles := TwoTenantProfiles(1.3)
+	trace, err := workload.Generate(profiles, workload.GenerateOptions{Horizon: horizon, Seed: seed, Name: "fig12"})
+	if err != nil {
+		return nil, err
+	}
+	cfgFor := func(capacity int) cluster.Config {
+		return ExpertTwoTenantConfig(capacity)
+	}
+	mapKind := workload.Map
+	redKind := workload.Reduce
+	templates := []qs.Template{
+		{Queue: "besteffort", Metric: qs.AvgResponseTime},
+		{Queue: "deadline", Metric: qs.AvgResponseTime},
+		{Queue: "", Metric: qs.Utilization, TaskKind: &mapKind},
+		{Queue: "", Metric: qs.Utilization, TaskKind: &redKind},
+	}
+	// Ground truth: the workload on the 100% cluster.
+	truthSched, err := cluster.Run(trace, cfgFor(fullCapacity), cluster.Options{Horizon: horizon, Noise: cluster.DefaultNoise(seed + 17)})
+	if err != nil {
+		return nil, err
+	}
+	truth := qs.EvalAll(templates, truthSched, 0, truthSched.Horizon+time.Nanosecond)
+
+	res := &Figure12Result{}
+	for _, frac := range []float64{1.0, 0.5, 0.25} {
+		srcCapacity := int(float64(fullCapacity) * frac)
+		srcSched, err := cluster.Run(trace, cfgFor(srcCapacity), cluster.Options{Horizon: horizon, Noise: cluster.DefaultNoise(seed + 19)})
+		if err != nil {
+			return nil, err
+		}
+		harvested := ReconstructTrace(srcSched, fmt.Sprintf("harvest-%.0f%%", frac*100))
+		fitted, err := workload.FitAll(harvested)
+		if err != nil {
+			return nil, err
+		}
+		model, err := whatif.FromProfiles(templates, fitted, horizon, seed+23)
+		if err != nil {
+			return nil, err
+		}
+		model.Samples = 2
+		model.Horizon = horizon
+		est, err := model.Evaluate(cfgFor(fullCapacity))
+		if err != nil {
+			return nil, err
+		}
+		row := Figure12Row{SourceFraction: frac}
+		for i := range truth {
+			if truth[i] != 0 {
+				row.Errors[i] = (est[i] - truth[i]) / truth[i] * 100
+			}
+			if a := abs(row.Errors[i]); a > row.MaxAbsError {
+				row.MaxAbsError = a
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Render prints the estimation-error bars.
+func (r *Figure12Result) Render() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%% nodes", row.SourceFraction*100),
+			fmt.Sprintf("%+.1f", row.Errors[0]),
+			fmt.Sprintf("%+.1f", row.Errors[1]),
+			fmt.Sprintf("%+.1f", row.Errors[2]),
+			fmt.Sprintf("%+.1f", row.Errors[3]),
+			fmt.Sprintf("%.1f", row.MaxAbsError),
+		})
+	}
+	return "Figure 12: SLO estimation error (%) predicting the 100% cluster from smaller-cluster traces\n" +
+		table([]string{"source", "BE latency", "DL latency", "map util", "red util", "max |err|"}, rows)
+}

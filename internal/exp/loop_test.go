@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end loop")
+	}
+	res, err := Figure6(9, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d, want 2 (25%% and 50%% slack)", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.NormalizedAJR) != 12 {
+			t.Fatalf("slack %v: %d points", s.Slack, len(s.NormalizedAJR))
+		}
+		if s.NormalizedAJR[0] != 1 {
+			t.Fatalf("normalization broken: first point %v", s.NormalizedAJR[0])
+		}
+		// Headline shape: the loop must reduce best-effort response time
+		// substantially from the expert configuration.
+		if s.Improvement < 0.15 {
+			t.Errorf("slack %.0f%%: AJR improvement %.0f%%, want >= 15%%", s.Slack*100, s.Improvement*100)
+		}
+	}
+	if !strings.Contains(res.Render(), "slack") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end loop")
+	}
+	res, err := Figure9(10, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper shape: best-effort AJR improves (22% in the paper), reduce
+	// containers stop losing work to preemption (utilization gain), map
+	// containers stay at the same level, and preemptions collapse.
+	if res.Improvements[0] < 0.10 {
+		t.Errorf("AJR improvement %.1f%%, want >= 10%%", res.Improvements[0]*100)
+	}
+	if res.Improvements[3] < 0.05 {
+		t.Errorf("reduce effective-work improvement %.1f%%, want >= 5%%", res.Improvements[3]*100)
+	}
+	if res.Improvements[2] < -0.10 {
+		t.Errorf("map effective-work regressed %.1f%%", res.Improvements[2]*100)
+	}
+	if res.PreemptionsOptimized*2 > res.PreemptionsOriginal {
+		t.Errorf("preemptions not halved: %d -> %d", res.PreemptionsOriginal, res.PreemptionsOptimized)
+	}
+	_ = res.Render()
+}
+
+func TestFigure11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end loop")
+	}
+	res, err := Figure11(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 interval lengths", len(res.Rows))
+	}
+	improved := false
+	for _, row := range res.Rows {
+		if row.NormalizedAJR <= 0 {
+			t.Errorf("interval %v: AJR %v", row.Interval, row.NormalizedAJR)
+		}
+		if row.NormalizedAJR < 0.95 {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Error("no interval length improved best-effort AJR over the untuned baseline")
+	}
+	_ = res.Render()
+}
+
+func TestFigure12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	res, err := Figure12(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 source sizes", len(res.Rows))
+	}
+	// Shape: same-size traces predict well; quarter-size traces predict
+	// worse than same-size ones.
+	if res.Rows[0].MaxAbsError > 30 {
+		t.Errorf("100%%-source max error %.1f%%, want <= 30%%", res.Rows[0].MaxAbsError)
+	}
+	if res.Rows[2].MaxAbsError < res.Rows[0].MaxAbsError {
+		t.Errorf("25%%-source error %.1f%% should exceed 100%%-source %.1f%%",
+			res.Rows[2].MaxAbsError, res.Rows[0].MaxAbsError)
+	}
+	_ = res.Render()
+}
+
+func TestCompareStrategiesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end loop")
+	}
+	res, err := CompareStrategies(9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]StrategyComparisonRow{}
+	for _, r := range res.Rows {
+		byName[r.Strategy] = r
+	}
+	// PALD must improve the best-effort SLO; the exact ordering among
+	// baselines varies with seeds, but PALD should not lose to random
+	// search on constraint regret by a wide margin.
+	if byName["pald"].AJRImprovement < 0.05 {
+		t.Errorf("pald AJR improvement %.1f%%, want >= 5%%", byName["pald"].AJRImprovement*100)
+	}
+	if byName["pald"].MeanMaxRegret > byName["random-search"].MeanMaxRegret*2+0.05 {
+		t.Errorf("pald regret %.3f far above random search %.3f",
+			byName["pald"].MeanMaxRegret, byName["random-search"].MeanMaxRegret)
+	}
+	_ = res.Render()
+}
+
+func TestGuardAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end loop")
+	}
+	res, err := GuardAblation(9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	_ = res.Render()
+}

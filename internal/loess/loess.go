@@ -1,0 +1,145 @@
+// Package loess implements locally weighted linear regression (LOESS,
+// Cleveland & Devlin 1988) for estimating the value and gradient of a noisy
+// function from scattered samples.
+//
+// PALD (Tempo §6.3.1) estimates QS gradients with LOESS: each control-loop
+// iteration contributes a few (RM configuration, measured QS) samples, and
+// the optimizer needs ∇f at the current configuration despite measurement
+// noise. A local *linear* fit is used because only the first-order term
+// (the gradient) is consumed.
+package loess
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"tempo/internal/linalg"
+)
+
+// Sample is one observation of the target function.
+type Sample struct {
+	X linalg.Vector
+	Y float64
+}
+
+// Options configure a LOESS fit.
+type Options struct {
+	// Span is the fraction of samples included in the local neighbourhood
+	// (classic LOESS α). Values outside (0, 1] are clamped; the default
+	// 0.75 mirrors common practice.
+	Span float64
+	// Ridge is a Tikhonov regularizer added to the normal equations. It
+	// keeps the fit well-posed when the sample cloud is thin along some
+	// directions. Defaults to 1e-8.
+	Ridge float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Span <= 0 || o.Span > 1 {
+		o.Span = 0.75
+	}
+	if o.Ridge <= 0 {
+		o.Ridge = 1e-8
+	}
+	return o
+}
+
+// ErrTooFewSamples is returned when fewer samples than dimensions+1 are
+// available in the neighbourhood.
+var ErrTooFewSamples = errors.New("loess: too few samples for local fit")
+
+// Fit is the result of a local regression around a query point.
+type Fit struct {
+	// Value is the fitted function value at the query point.
+	Value float64
+	// Gradient is the fitted local gradient at the query point.
+	Gradient linalg.Vector
+}
+
+// Estimate fits a locally weighted linear model around x0 and returns the
+// fitted value and gradient there.
+func Estimate(samples []Sample, x0 linalg.Vector, opts Options) (Fit, error) {
+	opts = opts.withDefaults()
+	dim := len(x0)
+	if dim == 0 {
+		return Fit{}, errors.New("loess: empty query point")
+	}
+	n := len(samples)
+	need := dim + 1
+	if n < need {
+		return Fit{}, fmt.Errorf("%w: have %d, need at least %d", ErrTooFewSamples, n, need)
+	}
+
+	// Neighbourhood: the ceil(span*n) nearest samples, but never fewer
+	// than dim+1.
+	type distSample struct {
+		d float64
+		s Sample
+	}
+	ds := make([]distSample, 0, n)
+	for _, s := range samples {
+		if len(s.X) != dim {
+			return Fit{}, fmt.Errorf("loess: sample dimension %d != query dimension %d", len(s.X), dim)
+		}
+		ds = append(ds, distSample{d: s.X.Dist(x0), s: s})
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
+	k := int(math.Ceil(opts.Span * float64(n)))
+	if k < need {
+		k = need
+	}
+	if k > n {
+		k = n
+	}
+	// If every selected neighbour coincides with x0 the fit would
+	// degenerate to a mean; widen the neighbourhood until it contains at
+	// least one informative point.
+	for k < n && ds[k-1].d <= 0 {
+		k++
+	}
+	h := ds[k-1].d
+
+	rows := linalg.NewMatrix(k, dim+1)
+	y := linalg.NewVector(k)
+	w := linalg.NewVector(k)
+	for i := 0; i < k; i++ {
+		s := ds[i].s
+		row := rows.Row(i)
+		row[0] = 1
+		diff := s.X.Sub(x0)
+		copy(row[1:], diff)
+		y[i] = s.Y
+		w[i] = tricube(ds[i].d, h)
+	}
+	beta, err := linalg.WeightedLeastSquares(rows, y, w, opts.Ridge)
+	if err != nil {
+		return Fit{}, fmt.Errorf("loess: %w", err)
+	}
+	return Fit{Value: beta[0], Gradient: linalg.Vector(beta[1:]).Clone()}, nil
+}
+
+// Gradient is a convenience wrapper around Estimate returning only ∇f.
+func Gradient(samples []Sample, x0 linalg.Vector, opts Options) (linalg.Vector, error) {
+	fit, err := Estimate(samples, x0, opts)
+	if err != nil {
+		return nil, err
+	}
+	return fit.Gradient, nil
+}
+
+// tricube is the standard LOESS kernel (1 − u³)³ on [0, 1).
+func tricube(d, h float64) float64 {
+	if h <= 0 {
+		return 1
+	}
+	u := d / h
+	if u >= 1 {
+		// The farthest included neighbour would get zero weight, which can
+		// starve the fit in tiny neighbourhoods; give it a small floor.
+		return 1e-6
+	}
+	c := 1 - u*u*u
+	return c * c * c
+}

@@ -1,0 +1,343 @@
+// Package lp implements a small, dependency-free two-phase primal simplex
+// solver for dense linear programs in the form
+//
+//	maximize   cᵀx
+//	subject to a_i·x {<=,==,>=} b_i   for each constraint i
+//	           x >= 0
+//
+// It exists to solve PALD's max-min weight program (Tempo §6.3.1):
+//
+//	maximize z  subject to  J_v Jᵀ c >= z·1,  c >= 0,  z <= ε
+//
+// which after the substitution z = ε − u (u ≥ 0) fits the form above. The
+// LPs involved have one row and one column per SLO, so a dense tableau with
+// Bland's anti-cycling rule is plenty.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the direction of a linear constraint.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // a·x <= b
+	EQ              // a·x == b
+	GE              // a·x >= b
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case EQ:
+		return "=="
+	case GE:
+		return ">="
+	}
+	return fmt.Sprintf("Sense(%d)", int(s))
+}
+
+// Constraint is a single row a·x (sense) b.
+type Constraint struct {
+	A     []float64
+	Sense Sense
+	B     float64
+}
+
+// Problem is a linear program over nonnegative variables.
+type Problem struct {
+	// Objective holds the coefficients of the maximization objective.
+	Objective []float64
+	// Constraints are the rows of the program.
+	Constraints []Constraint
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status Status
+	// X is the optimal assignment (valid only when Status == Optimal).
+	X []float64
+	// Value is the objective value at X.
+	Value float64
+}
+
+// ErrBadProblem reports a structurally invalid program.
+var ErrBadProblem = errors.New("lp: malformed problem")
+
+const eps = 1e-9
+
+// Solve runs two-phase primal simplex on p.
+func Solve(p Problem) (Solution, error) {
+	n := len(p.Objective)
+	if n == 0 {
+		return Solution{}, fmt.Errorf("%w: empty objective", ErrBadProblem)
+	}
+	for i, c := range p.Constraints {
+		if len(c.A) != n {
+			return Solution{}, fmt.Errorf("%w: constraint %d has %d coefficients, want %d",
+				ErrBadProblem, i, len(c.A), n)
+		}
+	}
+	t := newTableau(p)
+	if t.needsPhase1 {
+		status := t.phase1()
+		if status != Optimal {
+			return Solution{Status: Infeasible}, nil
+		}
+	}
+	status := t.phase2()
+	if status == Unbounded {
+		return Solution{Status: Unbounded}, nil
+	}
+	x := t.extract()
+	var val float64
+	for j, c := range p.Objective {
+		val += c * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Value: val}, nil
+}
+
+// tableau is a dense simplex tableau. Columns are laid out as
+// [structural | slack/surplus | artificial | rhs].
+type tableau struct {
+	rows        [][]float64 // constraint rows, last entry is rhs
+	basis       []int       // basic variable of each row
+	n           int         // structural variables
+	slack       int         // slack/surplus variables
+	art         int         // artificial variables
+	obj         []float64   // phase-2 objective over structural vars
+	needsPhase1 bool
+}
+
+func newTableau(p Problem) *tableau {
+	n := len(p.Objective)
+	m := len(p.Constraints)
+	slack := 0
+	art := 0
+	for _, c := range p.Constraints {
+		switch c.Sense {
+		case LE, GE:
+			slack++
+		}
+		// Artificial variables are needed for ==, for >= (after surplus),
+		// and for <= rows with negative rhs (which flip to >=-like rows).
+	}
+	// Conservatively allocate one artificial per row; unused ones are
+	// simply never made basic.
+	art = m
+	width := n + slack + art + 1
+	t := &tableau{
+		rows:  make([][]float64, m),
+		basis: make([]int, m),
+		n:     n,
+		slack: slack,
+		art:   art,
+		obj:   append([]float64(nil), p.Objective...),
+	}
+	si := 0
+	for i, c := range p.Constraints {
+		row := make([]float64, width)
+		copy(row, c.A)
+		rhs := c.B
+		sense := c.Sense
+		// Normalize to nonnegative rhs.
+		if rhs < 0 {
+			for j := 0; j < n; j++ {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		switch sense {
+		case LE:
+			row[n+si] = 1
+			t.basis[i] = n + si
+			si++
+		case GE:
+			row[n+si] = -1
+			si++
+			row[n+slack+i] = 1
+			t.basis[i] = n + slack + i
+			t.needsPhase1 = true
+		case EQ:
+			row[n+slack+i] = 1
+			t.basis[i] = n + slack + i
+			t.needsPhase1 = true
+		}
+		row[width-1] = rhs
+		t.rows[i] = row
+	}
+	return t
+}
+
+func (t *tableau) width() int { return t.n + t.slack + t.art + 1 }
+
+// phase1 minimizes the sum of artificial variables; Optimal means a basic
+// feasible solution with zero artificials was found.
+func (t *tableau) phase1() Status {
+	width := t.width()
+	// Phase-1 objective: minimize sum of artificials == maximize -sum.
+	cost := make([]float64, width-1)
+	for j := t.n + t.slack; j < width-1; j++ {
+		cost[j] = -1
+	}
+	status := t.iterate(cost)
+	if status != Optimal {
+		return Infeasible
+	}
+	// Feasible iff every artificial is zero.
+	for i, b := range t.basis {
+		if b >= t.n+t.slack && t.rows[i][width-1] > eps {
+			return Infeasible
+		}
+	}
+	// Drive any degenerate artificial out of the basis if possible so
+	// phase 2 never pivots on artificial columns.
+	for i, b := range t.basis {
+		if b < t.n+t.slack {
+			continue
+		}
+		for j := 0; j < t.n+t.slack; j++ {
+			if math.Abs(t.rows[i][j]) > eps {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+	return Optimal
+}
+
+func (t *tableau) phase2() Status {
+	width := t.width()
+	cost := make([]float64, width-1)
+	copy(cost, t.obj)
+	// Artificial columns are forbidden in phase 2.
+	for j := t.n + t.slack; j < width-1; j++ {
+		cost[j] = math.Inf(-1)
+	}
+	return t.iterate(cost)
+}
+
+// iterate runs primal simplex with the given maximization costs using
+// Bland's rule (smallest eligible index) to guarantee termination.
+func (t *tableau) iterate(cost []float64) Status {
+	width := t.width()
+	maxIter := 200 * (width + len(t.rows) + 1)
+	for iter := 0; iter < maxIter; iter++ {
+		// Reduced costs: r_j = c_j − c_Bᵀ B⁻¹ A_j. The tableau is kept in
+		// canonical form, so compute r_j directly from basis costs.
+		enter := -1
+		for j := 0; j < width-1; j++ {
+			if math.IsInf(cost[j], -1) {
+				continue
+			}
+			rj := cost[j]
+			for i, b := range t.basis {
+				cb := basisCost(cost, b)
+				if cb != 0 {
+					rj -= cb * t.rows[i][j]
+				}
+			}
+			if rj > eps {
+				enter = j
+				break // Bland: first eligible column
+			}
+		}
+		if enter == -1 {
+			return Optimal
+		}
+		// Ratio test.
+		leave := -1
+		best := math.Inf(1)
+		for i := range t.rows {
+			a := t.rows[i][enter]
+			if a > eps {
+				ratio := t.rows[i][width-1] / a
+				if ratio < best-eps || (math.Abs(ratio-best) <= eps && (leave == -1 || t.basis[i] < t.basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return Unbounded // did not converge; treat as failure
+}
+
+func basisCost(cost []float64, b int) float64 {
+	c := cost[b]
+	if math.IsInf(c, -1) {
+		// Artificial still in basis at zero level; its cost contribution
+		// is irrelevant because its row rhs is zero after phase 1.
+		return 0
+	}
+	return c
+}
+
+func (t *tableau) pivot(row, col int) {
+	width := t.width()
+	p := t.rows[row][col]
+	inv := 1 / p
+	for j := 0; j < width; j++ {
+		t.rows[row][j] *= inv
+	}
+	for i := range t.rows {
+		if i == row {
+			continue
+		}
+		f := t.rows[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < width; j++ {
+			t.rows[i][j] -= f * t.rows[row][j]
+		}
+	}
+	t.basis[row] = col
+}
+
+func (t *tableau) extract() []float64 {
+	width := t.width()
+	x := make([]float64, t.n)
+	for i, b := range t.basis {
+		if b < t.n {
+			x[b] = t.rows[i][width-1]
+		}
+	}
+	return x
+}

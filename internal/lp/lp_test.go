@@ -1,0 +1,303 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p Problem) Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve error: %v", err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	return sol
+}
+
+func TestSimpleMaximization(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 → x=4, y=0, value 12.
+	sol := solveOK(t, Problem{
+		Objective: []float64{3, 2},
+		Constraints: []Constraint{
+			{A: []float64{1, 1}, Sense: LE, B: 4},
+			{A: []float64{1, 3}, Sense: LE, B: 6},
+		},
+	})
+	if math.Abs(sol.Value-12) > 1e-6 {
+		t.Fatalf("value = %v, want 12 (x=%v)", sol.Value, sol.X)
+	}
+}
+
+func TestClassicTwoVariable(t *testing.T) {
+	// max 5x + 4y s.t. 6x+4y<=24, x+2y<=6 → x=3, y=1.5, value 21.
+	sol := solveOK(t, Problem{
+		Objective: []float64{5, 4},
+		Constraints: []Constraint{
+			{A: []float64{6, 4}, Sense: LE, B: 24},
+			{A: []float64{1, 2}, Sense: LE, B: 6},
+		},
+	})
+	if math.Abs(sol.Value-21) > 1e-6 {
+		t.Fatalf("value = %v, want 21 (x=%v)", sol.Value, sol.X)
+	}
+	if math.Abs(sol.X[0]-3) > 1e-6 || math.Abs(sol.X[1]-1.5) > 1e-6 {
+		t.Fatalf("x = %v, want [3 1.5]", sol.X)
+	}
+}
+
+func TestGEConstraintNeedsPhase1(t *testing.T) {
+	// min x+y s.t. x+y >= 2 (as max -x-y) → value -2 on the line x+y=2.
+	sol := solveOK(t, Problem{
+		Objective: []float64{-1, -1},
+		Constraints: []Constraint{
+			{A: []float64{1, 1}, Sense: GE, B: 2},
+		},
+	})
+	if math.Abs(sol.Value+2) > 1e-6 {
+		t.Fatalf("value = %v, want -2", sol.Value)
+	}
+	if sol.X[0]+sol.X[1] < 2-1e-6 {
+		t.Fatalf("constraint violated at %v", sol.X)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// max x s.t. x + y == 3, x <= 2 → x=2, y=1.
+	sol := solveOK(t, Problem{
+		Objective: []float64{1, 0},
+		Constraints: []Constraint{
+			{A: []float64{1, 1}, Sense: EQ, B: 3},
+			{A: []float64{1, 0}, Sense: LE, B: 2},
+		},
+	})
+	if math.Abs(sol.X[0]-2) > 1e-6 || math.Abs(sol.X[1]-1) > 1e-6 {
+		t.Fatalf("x = %v, want [2 1]", sol.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	sol, err := Solve(Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{A: []float64{1}, Sense: LE, B: 1},
+			{A: []float64{1}, Sense: GE, B: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	sol, err := Solve(Problem{
+		Objective:   []float64{1},
+		Constraints: []Constraint{{A: []float64{-1}, Sense: LE, B: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x <= -1 with x >= 0 is infeasible.
+	sol, err := Solve(Problem{
+		Objective:   []float64{1},
+		Constraints: []Constraint{{A: []float64{1}, Sense: LE, B: -1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+	// -x <= -1 means x >= 1: feasible, and max -x = -1.
+	sol2 := solveOK(t, Problem{
+		Objective:   []float64{-1},
+		Constraints: []Constraint{{A: []float64{-1}, Sense: LE, B: -1}},
+	})
+	if math.Abs(sol2.Value+1) > 1e-6 {
+		t.Fatalf("value = %v, want -1", sol2.Value)
+	}
+}
+
+func TestMalformedProblem(t *testing.T) {
+	if _, err := Solve(Problem{}); err == nil {
+		t.Fatal("expected error for empty objective")
+	}
+	if _, err := Solve(Problem{
+		Objective:   []float64{1, 2},
+		Constraints: []Constraint{{A: []float64{1}, Sense: LE, B: 1}},
+	}); err == nil {
+		t.Fatal("expected error for ragged constraint")
+	}
+}
+
+func TestDegenerateDoesNotCycle(t *testing.T) {
+	// A classic degenerate instance (Beale-like); Bland's rule must
+	// terminate.
+	sol := solveOK(t, Problem{
+		Objective: []float64{0.75, -150, 0.02, -6},
+		Constraints: []Constraint{
+			{A: []float64{0.25, -60, -0.04, 9}, Sense: LE, B: 0},
+			{A: []float64{0.5, -90, -0.02, 3}, Sense: LE, B: 0},
+			{A: []float64{0, 0, 1, 0}, Sense: LE, B: 1},
+		},
+	})
+	if math.Abs(sol.Value-0.05) > 1e-6 {
+		t.Fatalf("value = %v, want 0.05", sol.Value)
+	}
+}
+
+// TestPALDShapedProgram exercises the exact LP PALD issues: maximize the
+// worst-case gradient alignment. Variables are (c_1..c_k, u) with
+// z = eps − u.
+func TestPALDShapedProgram(t *testing.T) {
+	// Gram matrix of two violated objectives with conflicting gradients.
+	g := [][]float64{
+		{1, -0.5},
+		{-0.5, 1},
+	}
+	const epsConst = 1.0
+	k := len(g)
+	obj := make([]float64, k+1)
+	obj[k] = -1 // maximize z = eps − u  ⇔ minimize u
+	var cons []Constraint
+	for i := 0; i < k; i++ {
+		row := make([]float64, k+1)
+		copy(row, g[i])
+		row[k] = 1 // G_i·c + u >= eps
+		cons = append(cons, Constraint{A: row, Sense: GE, B: epsConst})
+	}
+	// Normalization cap so c stays bounded: sum c <= 10.
+	capRow := make([]float64, k+1)
+	for i := 0; i < k; i++ {
+		capRow[i] = 1
+	}
+	cons = append(cons, Constraint{A: capRow, Sense: LE, B: 10})
+	sol := solveOK(t, Problem{Objective: obj, Constraints: cons})
+	c := sol.X[:k]
+	z := epsConst - sol.X[k]
+	// z is capped at eps (the paper's z <= ε constraint); it is attainable
+	// here with c1 = c2 >= 2, so the optimum hits the cap exactly.
+	if math.Abs(z-epsConst) > 1e-6 {
+		t.Fatalf("z = %v, want %v", z, epsConst)
+	}
+	for i := 0; i < k; i++ {
+		var gi float64
+		for j := 0; j < k; j++ {
+			gi += g[i][j] * c[j]
+		}
+		if gi < z-1e-6 {
+			t.Fatalf("alignment constraint %d violated: %v < %v (c=%v)", i, gi, z, c)
+		}
+	}
+}
+
+// Property: on random feasible LE-only programs the solution satisfies all
+// constraints and beats (or ties) a random-vertex sample.
+func TestPropertyFeasibleAndLocallyBest(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(3)
+		m := 1 + rng.Intn(4)
+		p := Problem{Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64()
+		}
+		for i := 0; i < m; i++ {
+			a := make([]float64, n)
+			for j := range a {
+				a[j] = rng.Float64() // nonnegative ⇒ bounded with b >= 0
+			}
+			a[rng.Intn(n)] += 0.5 // ensure at least one positive coefficient
+			p.Constraints = append(p.Constraints, Constraint{A: a, Sense: LE, B: 1 + rng.Float64()})
+		}
+		sol, err := Solve(p)
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		// Feasibility.
+		for _, c := range p.Constraints {
+			var lhs float64
+			for j := range c.A {
+				lhs += c.A[j] * sol.X[j]
+				if sol.X[j] < -1e-9 {
+					return false
+				}
+			}
+			if lhs > c.B+1e-6 {
+				return false
+			}
+		}
+		// Compare against random feasible points.
+		for trial := 0; trial < 50; trial++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = rng.Float64() * 2
+			}
+			feasible := true
+			var val float64
+			for _, c := range p.Constraints {
+				var lhs float64
+				for j := range c.A {
+					lhs += c.A[j] * x[j]
+				}
+				if lhs > c.B {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			for j := range x {
+				val += p.Objective[j] * x[j]
+			}
+			if val > sol.Value+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSenseAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || EQ.String() != "==" || GE.String() != ">=" {
+		t.Fatal("Sense.String mismatch")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Fatal("Status.String mismatch")
+	}
+	if Sense(9).String() == "" || Status(9).String() == "" {
+		t.Fatal("unknown values should still print")
+	}
+}
+
+func BenchmarkSolveSmall(b *testing.B) {
+	p := Problem{
+		Objective: []float64{5, 4},
+		Constraints: []Constraint{
+			{A: []float64{6, 4}, Sense: LE, B: 24},
+			{A: []float64{1, 2}, Sense: LE, B: 6},
+		},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

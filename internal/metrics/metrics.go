@@ -1,0 +1,260 @@
+// Package metrics provides the statistical machinery of the evaluation:
+// the relative absolute/squared prediction errors of §8.1, empirical CDFs
+// for the workload characterization figures, and moving averages for the
+// "instant job response time" series of Figure 10.
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"time"
+)
+
+// ErrMismatch is returned when paired series have different lengths.
+var ErrMismatch = errors.New("metrics: series length mismatch")
+
+// RAE computes the relative absolute error between predictions p and
+// observations l (§8.1):
+//
+//	RAE = Σ|p_j − l_j| / Σ|l_j − mean(l)|
+func RAE(pred, obs []float64) (float64, error) {
+	if len(pred) != len(obs) {
+		return 0, ErrMismatch
+	}
+	if len(obs) == 0 {
+		return 0, errors.New("metrics: empty series")
+	}
+	mean := Mean(obs)
+	var num, den float64
+	for i := range pred {
+		num += math.Abs(pred[i] - obs[i])
+		den += math.Abs(obs[i] - mean)
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0, nil
+		}
+		return math.Inf(1), nil
+	}
+	return num / den, nil
+}
+
+// RSE computes the relative squared error between predictions and
+// observations (§8.1):
+//
+//	RSE = sqrt( Σ(p_j − l_j)² / Σ(l_j − mean(l))² )
+func RSE(pred, obs []float64) (float64, error) {
+	if len(pred) != len(obs) {
+		return 0, ErrMismatch
+	}
+	if len(obs) == 0 {
+		return 0, errors.New("metrics: empty series")
+	}
+	mean := Mean(obs)
+	var num, den float64
+	for i := range pred {
+		num += (pred[i] - obs[i]) * (pred[i] - obs[i])
+		den += (obs[i] - mean) * (obs[i] - mean)
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0, nil
+		}
+		return math.Inf(1), nil
+	}
+	return math.Sqrt(num / den), nil
+}
+
+// Mean returns the arithmetic mean, 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation.
+func Stddev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples (which it copies and sorts).
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the number of samples.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile, q in [0, 1].
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	idx := q * float64(len(c.sorted)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return c.sorted[lo]
+	}
+	frac := idx - float64(lo)
+	return c.sorted[lo]*(1-frac) + c.sorted[hi]*frac
+}
+
+// Points returns n evenly spaced (value, probability) pairs suitable for
+// plotting the CDF, as in Figures 5 and 8.
+func (c *CDF) Points(n int) []Point {
+	if n < 2 || len(c.sorted) == 0 {
+		return nil
+	}
+	out := make([]Point, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		out[i] = Point{X: c.Quantile(q), Y: q}
+	}
+	return out
+}
+
+// Point is an (x, y) pair of a plotted series.
+type Point struct {
+	X, Y float64
+}
+
+// TimePoint is a time-stamped sample of a time series.
+type TimePoint struct {
+	At    time.Duration
+	Value float64
+}
+
+// MovingAverage computes the trailing-window moving average of a
+// time-stamped series — the "instant job response time ... computed using
+// the moving average of a 30-min window" of Figure 10. Input must be
+// sorted by time; output has one point per input point.
+func MovingAverage(series []TimePoint, window time.Duration) []TimePoint {
+	if window <= 0 {
+		return append([]TimePoint(nil), series...)
+	}
+	out := make([]TimePoint, len(series))
+	var sum float64
+	start := 0
+	for i, p := range series {
+		sum += p.Value
+		for series[start].At < p.At-window {
+			sum -= series[start].Value
+			start++
+		}
+		out[i] = TimePoint{At: p.At, Value: sum / float64(i-start+1)}
+	}
+	return out
+}
+
+// Downsample reduces a series to at most n points by averaging buckets of
+// equal time width; used to render long timelines compactly.
+func Downsample(series []TimePoint, n int) []TimePoint {
+	if n <= 0 || len(series) <= n {
+		return append([]TimePoint(nil), series...)
+	}
+	lo := series[0].At
+	hi := series[len(series)-1].At
+	span := hi - lo
+	if span <= 0 {
+		return []TimePoint{series[0]}
+	}
+	bucketW := span / time.Duration(n)
+	if bucketW <= 0 {
+		bucketW = 1
+	}
+	var out []TimePoint
+	i := 0
+	for b := 0; b < n && i < len(series); b++ {
+		end := lo + time.Duration(b+1)*bucketW
+		var sum float64
+		var cnt int
+		var last time.Duration
+		for i < len(series) && (series[i].At < end || b == n-1) {
+			sum += series[i].Value
+			last = series[i].At
+			cnt++
+			i++
+		}
+		if cnt > 0 {
+			out = append(out, TimePoint{At: last, Value: sum / float64(cnt)})
+		}
+	}
+	return out
+}
+
+// Histogram counts samples into equal-width bins over [lo, hi].
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Total  int
+}
+
+// NewHistogram builds a histogram with the given bin count.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one sample; out-of-range samples clamp to the edge bins.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Counts)
+	var idx int
+	if h.Hi > h.Lo {
+		idx = int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	h.Counts[idx]++
+	h.Total++
+}
+
+// Fraction returns the share of samples in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}

@@ -1,0 +1,469 @@
+// Package pald implements PALD (PAreto Local Descent, §6 of the Tempo
+// paper): a multi-objective optimization algorithm for noisy, expensive QS
+// functions subject to per-SLO constraints E[f_i(x)] <= r_i.
+//
+// The algorithm solves the proxy problem (SP2)
+//
+//	minimize  cᵀ[f(x) − ρ·max(f(x), r)]
+//
+// whose every solution is weakly Pareto-optimal for the original problem
+// (Theorem 1, reproduced in TestTheorem1ProxyMonotonicity). Per iteration:
+//
+//  1. QS gradients are estimated with LOESS over the history of observed
+//     (configuration, QS) samples — robust to measurement noise.
+//  2. The weight vector c is chosen by a linear program that maximizes the
+//     worst violated constraint's improvement (max-min fairness over SLO
+//     regrets).
+//  3. ρ* is derived from the Gram matrix of the gradients so the step never
+//     increases a violated QS function.
+//  4. A stochastic-gradient step is taken, projected onto the normalized
+//     configuration cube and a trust region of radius MaxStep (the
+//     "maximum distance to the currently used RM configuration" knob that
+//     bounds production risk).
+package pald
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tempo/internal/linalg"
+	"tempo/internal/loess"
+	"tempo/internal/lp"
+)
+
+// Target is the constraint attached to one objective.
+type Target struct {
+	// R is the bound r_i of E[f_i(x)] <= r_i.
+	R float64
+	// Constrained marks whether the objective carries a bound. Objectives
+	// without bounds are "best-effort": they join the descent direction
+	// but never the violated set.
+	Constrained bool
+}
+
+// Options tune the optimizer.
+type Options struct {
+	// StepSize is the SGD step α. Default 0.3.
+	StepSize float64
+	// MaxStep is the trust-region radius in the normalized configuration
+	// space: no proposal moves farther than this from the current
+	// configuration. Default 0.15.
+	MaxStep float64
+	// Span is the LOESS neighbourhood fraction. Default 0.75.
+	Span float64
+	// Epsilon is the LP's z-cap ε (any positive constant). Default 1.
+	Epsilon float64
+	// History caps the number of retained samples; older samples are
+	// discarded so the optimizer tracks drifting workloads. Default 256.
+	History int
+	// Seed drives exploration randomness.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.StepSize <= 0 {
+		o.StepSize = 0.3
+	}
+	if o.MaxStep <= 0 {
+		o.MaxStep = 0.15
+	}
+	if o.Span <= 0 {
+		o.Span = 0.75
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 1
+	}
+	if o.History <= 0 {
+		o.History = 256
+	}
+	return o
+}
+
+// Optimizer is the PALD state: an observation history plus tuning knobs.
+type Optimizer struct {
+	dim     int
+	targets []Target
+	opts    Options
+	rng     *rand.Rand
+
+	xs []linalg.Vector // observed configurations
+	fs []linalg.Vector // observed QS vectors (same indexing)
+}
+
+// New creates a PALD optimizer over a dim-dimensional normalized
+// configuration space with one Target per objective.
+func New(dim int, targets []Target, opts Options) (*Optimizer, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("pald: non-positive dimension %d", dim)
+	}
+	if len(targets) == 0 {
+		return nil, errors.New("pald: no objectives")
+	}
+	o := opts.withDefaults()
+	return &Optimizer{
+		dim:     dim,
+		targets: targets,
+		opts:    o,
+		rng:     rand.New(rand.NewSource(o.Seed)),
+	}, nil
+}
+
+// Dim returns the configuration-space dimensionality.
+func (p *Optimizer) Dim() int { return p.dim }
+
+// SetTargets replaces the constraint bounds; the control loop uses this to
+// ratchet best-effort targets to the currently achieved values.
+func (p *Optimizer) SetTargets(targets []Target) error {
+	if len(targets) != len(p.targets) {
+		return fmt.Errorf("pald: target count %d != objective count %d", len(targets), len(p.targets))
+	}
+	p.targets = targets
+	return nil
+}
+
+// Observe records one (configuration, QS vector) measurement.
+func (p *Optimizer) Observe(x linalg.Vector, f []float64) error {
+	if len(x) != p.dim {
+		return fmt.Errorf("pald: observation dim %d != %d", len(x), p.dim)
+	}
+	if len(f) != len(p.targets) {
+		return fmt.Errorf("pald: QS vector length %d != objective count %d", len(f), len(p.targets))
+	}
+	for _, v := range f {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("pald: non-finite QS value %v", v)
+		}
+	}
+	p.xs = append(p.xs, x.Clone())
+	p.fs = append(p.fs, linalg.Vector(f).Clone())
+	if len(p.xs) > p.opts.History {
+		drop := len(p.xs) - p.opts.History
+		p.xs = p.xs[drop:]
+		p.fs = p.fs[drop:]
+	}
+	return nil
+}
+
+// SampleCount returns the number of retained observations.
+func (p *Optimizer) SampleCount() int { return len(p.xs) }
+
+// minSamples is how many observations the gradient estimate needs before
+// PALD descends; with fewer it explores randomly inside the trust region.
+func (p *Optimizer) minSamples() int { return p.dim + 2 }
+
+// Step computes the next configuration from x given its averaged
+// measurement f. During warm-up (too few samples) it returns a random
+// exploration point within the trust region.
+func (p *Optimizer) Step(x linalg.Vector, f []float64) (linalg.Vector, error) {
+	if len(x) != p.dim {
+		return nil, fmt.Errorf("pald: step dim %d != %d", len(x), p.dim)
+	}
+	if len(p.xs) < p.minSamples() {
+		return p.explore(x), nil
+	}
+	grad, err := p.jacobian(x)
+	if err != nil {
+		return p.explore(x), nil //nolint:nilerr // exploration is the designed fallback
+	}
+	dir := p.descentDirection(grad, f)
+	if dir.Norm() < 1e-12 {
+		// Stationary (Pareto-critical): small random probe keeps the
+		// sample cloud informative without leaving the neighbourhood.
+		return p.perturb(x, p.opts.MaxStep/4), nil
+	}
+	next := x.Clone().AXPY(-p.opts.StepSize, dir)
+	return p.project(x, next), nil
+}
+
+// Propose returns up to n candidate configurations around x: the PALD
+// descent step first, then trust-region perturbations of it. The Tempo
+// control loop evaluates all of them in the What-if Model and applies the
+// best (§4 explores 5 candidates per loop).
+func (p *Optimizer) Propose(x linalg.Vector, f []float64, n int) ([]linalg.Vector, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	first, err := p.Step(x, f)
+	if err != nil {
+		return nil, err
+	}
+	out := []linalg.Vector{first}
+	for len(out) < n {
+		out = append(out, p.perturb(x, p.opts.MaxStep))
+	}
+	return out, nil
+}
+
+// jacobian estimates ∇f_i at x for every objective via LOESS.
+func (p *Optimizer) jacobian(x linalg.Vector) (*linalg.Matrix, error) {
+	k := len(p.targets)
+	jac := linalg.NewMatrix(k, p.dim)
+	samples := make([]loess.Sample, len(p.xs))
+	for i := range p.targets {
+		for j := range p.xs {
+			samples[j] = loess.Sample{X: p.xs[j], Y: p.fs[j][i]}
+		}
+		g, err := loess.Gradient(samples, x, loess.Options{Span: p.opts.Span})
+		if err != nil {
+			return nil, err
+		}
+		copy(jac.Row(i), g)
+	}
+	return jac, nil
+}
+
+// violated returns the indices of constrained objectives with f_i >= r_i.
+func (p *Optimizer) violated(f []float64) []int {
+	var out []int
+	for i, t := range p.targets {
+		if t.Constrained && f[i] >= t.R {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// descentDirection computes ∇s(x) of the proxy objective: the c-weighted
+// gradient combination with violated objectives deflated by (1−ρ).
+func (p *Optimizer) descentDirection(jac *linalg.Matrix, f []float64) linalg.Vector {
+	k := len(p.targets)
+	viol := p.violated(f)
+	gram := jac.Gram()
+	c := p.solveC(gram, viol)
+	rho := chooseRho(gram, c, viol)
+	dir := linalg.NewVector(p.dim)
+	for i := 0; i < k; i++ {
+		w := c[i]
+		if containsInt(viol, i) {
+			w *= 1 - rho
+		}
+		dir.AXPY(w, jac.Row(i))
+	}
+	return dir
+}
+
+// solveC chooses the weight vector c. With violated constraints it solves
+// the paper's max-min LP
+//
+//	maximize z  s.t.  (J_V Jᵀ)c >= z·1,  c >= 0,  z <= ε
+//
+// so the step improves the *worst* violated SLO fastest (max-min fairness).
+// Without violations it falls back to uniform weights (pure weighted-sum
+// descent on the best-effort objectives).
+func (p *Optimizer) solveC(gram *linalg.Matrix, viol []int) linalg.Vector {
+	k := gram.Rows
+	uniform := linalg.NewVector(k)
+	for i := range uniform {
+		uniform[i] = 1 / float64(k)
+	}
+	if len(viol) == 0 {
+		return uniform
+	}
+	// Variables: c_1..c_k, u with z = ε − u.
+	obj := make([]float64, k+1)
+	obj[k] = -1
+	var cons []lp.Constraint
+	for _, i := range viol {
+		row := make([]float64, k+1)
+		for j := 0; j < k; j++ {
+			row[j] = gram.At(i, j)
+		}
+		row[k] = 1
+		cons = append(cons, lp.Constraint{A: row, Sense: lp.GE, B: p.opts.Epsilon})
+	}
+	capRow := make([]float64, k+1)
+	for j := 0; j < k; j++ {
+		capRow[j] = 1
+	}
+	cons = append(cons, lp.Constraint{A: capRow, Sense: lp.LE, B: 10 * float64(k)})
+	sol, err := lp.Solve(lp.Problem{Objective: obj, Constraints: cons})
+	if err != nil || sol.Status != lp.Optimal {
+		return uniform
+	}
+	c := linalg.Vector(sol.X[:k]).Clone()
+	if n := c.Norm(); n > 1e-12 {
+		c = c.Scale(1 / n)
+	} else {
+		return uniform
+	}
+	return c
+}
+
+// chooseRho picks ρ* per §6.3.1: among the candidate values derived from
+// the Gram matrix, take the one (ρ < 1) that maximizes the worst violated
+// objective's alignment with the descent direction, subject to every
+// violated objective not increasing.
+func chooseRho(gram *linalg.Matrix, c linalg.Vector, viol []int) float64 {
+	if len(viol) == 0 {
+		return 0
+	}
+	k := gram.Rows
+	num := make([]float64, k)  // Σ_j c_j G_ij
+	denp := make([]float64, k) // positive part
+	denn := make([]float64, k) // negative part
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			v := c[j] * gram.At(i, j)
+			num[i] += v
+			if gram.At(i, j) >= 0 {
+				denp[i] += v
+			} else {
+				denn[i] += v
+			}
+		}
+	}
+	candidates := []float64{0}
+	rhoPlus := math.Inf(1)
+	rhoMinus := math.Inf(-1)
+	for _, i := range viol {
+		if gradZero(gram, i) {
+			continue
+		}
+		if denp[i] > 1e-12 {
+			rhoPlus = math.Min(rhoPlus, num[i]/denp[i])
+		}
+		if denn[i] < -1e-12 {
+			rhoMinus = math.Max(rhoMinus, num[i]/denn[i])
+		}
+	}
+	if !math.IsInf(rhoPlus, 1) && rhoPlus >= 0 {
+		candidates = append(candidates, math.Min(rhoPlus, 0.999))
+	}
+	if !math.IsInf(rhoMinus, -1) && rhoMinus < 0 {
+		candidates = append(candidates, rhoMinus)
+	}
+	// Alignment of violated objective i with the step under candidate ρ:
+	// a_i(ρ) = Σ_j c_j·m_j(ρ)·G_ij with m_j = (1−ρ) for violated j else 1.
+	align := func(rho float64) float64 {
+		worst := math.Inf(1)
+		for _, i := range viol {
+			var a float64
+			for j := 0; j < k; j++ {
+				m := 1.0
+				if containsInt(viol, j) {
+					m = 1 - rho
+				}
+				a += c[j] * m * gram.At(i, j)
+			}
+			worst = math.Min(worst, a)
+		}
+		return worst
+	}
+	best, bestA := 0.0, align(0)
+	for _, rho := range candidates[1:] {
+		if a := align(rho); a > bestA {
+			best, bestA = rho, a
+		}
+	}
+	// Never let a violated constraint's QS increase: if even the best
+	// candidate has negative alignment the gradients genuinely conflict,
+	// and ρ = best is still the least-bad choice bounded by the LP's c.
+	return best
+}
+
+func gradZero(gram *linalg.Matrix, i int) bool {
+	return math.Abs(gram.At(i, i)) < 1e-18
+}
+
+// explore returns a uniform random point inside the trust region around x.
+func (p *Optimizer) explore(x linalg.Vector) linalg.Vector {
+	return p.perturb(x, p.opts.MaxStep)
+}
+
+// perturb returns x plus a random displacement with norm <= radius, clamped
+// to the unit cube.
+func (p *Optimizer) perturb(x linalg.Vector, radius float64) linalg.Vector {
+	d := linalg.NewVector(p.dim)
+	for i := range d {
+		d[i] = p.rng.NormFloat64()
+	}
+	if n := d.Norm(); n > 1e-12 {
+		scale := radius * math.Pow(p.rng.Float64(), 1/float64(p.dim)) / n
+		d = d.Scale(scale)
+	}
+	return p.project(x, x.Add(d))
+}
+
+// project clamps next into the unit cube and the trust region around x.
+func (p *Optimizer) project(x, next linalg.Vector) linalg.Vector {
+	out := next.Clone().Clamp(0, 1)
+	diff := out.Sub(x)
+	if n := diff.Norm(); n > p.opts.MaxStep {
+		out = x.Add(diff.Scale(p.opts.MaxStep/n)).Clamp(0, 1)
+	}
+	return out
+}
+
+// ProxyScore evaluates the proxy objective of (SP2) at a QS vector f:
+//
+//	s = Σ_i c_i·[f_i − ρ·max(f_i, r_i)]
+//
+// For a violated constraint (f_i > r_i) the term is c_i·(1−ρ)·f_i; for a
+// satisfied one it is c_i·(f_i − ρ·r_i); unconstrained objectives carry no
+// penalty anchor and contribute c_i·f_i. nil c means uniform weights. The
+// Tempo control loop ranks what-if candidates by this score; Theorem 1
+// guarantees the minimizer is weakly Pareto-optimal for (SP1).
+func ProxyScore(f []float64, targets []Target, c []float64, rho float64) float64 {
+	var s float64
+	for i, v := range f {
+		w := 1.0
+		if c != nil {
+			w = c[i]
+		}
+		r := math.Inf(1)
+		if i < len(targets) && targets[i].Constrained {
+			r = targets[i].R
+		}
+		m := v
+		if r < v {
+			m = v // violated: max(f, r) = f
+		} else if !math.IsInf(r, 1) {
+			m = r // satisfied: max(f, r) = r
+		} else {
+			m = 0 // unconstrained: no penalty anchor
+		}
+		s += w * (v - rho*m)
+	}
+	return s
+}
+
+// MaxRegret returns the largest constraint violation max_i (f_i − r_i)⁺
+// over constrained objectives — the quantity PALD's max-min fairness
+// minimizes when the problem is infeasible.
+func MaxRegret(f []float64, targets []Target) float64 {
+	regret := 0.0
+	for i, t := range targets {
+		if !t.Constrained || i >= len(f) {
+			continue
+		}
+		if r := f[i] - t.R; r > regret {
+			regret = r
+		}
+	}
+	return regret
+}
+
+// Better reports whether QS vector a should be preferred over b. The
+// ordering mirrors problem (SP2) faithfully: its constraints come first
+// (smaller maximum regret wins — this is what the weighted-sum
+// scalarization of §6.3 gets wrong), and among equally feasible points the
+// proxy objective decides. Theorem 1 then guarantees the chosen point is
+// not Pareto-dominated by any other candidate.
+func Better(a, b []float64, targets []Target, c []float64, rho float64) bool {
+	ra, rb := MaxRegret(a, targets), MaxRegret(b, targets)
+	if math.Abs(ra-rb) > 1e-12 {
+		return ra < rb
+	}
+	return ProxyScore(a, targets, c, rho) < ProxyScore(b, targets, c, rho)
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

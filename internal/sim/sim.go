@@ -1,0 +1,168 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate shared by the cluster emulator and the
+// schedule predictor (internal/cluster). Following the "time warp" style of
+// simulation described in the Tempo paper (§7.2), state is advanced only at
+// discrete event instants — task submissions, tentative finishes, and
+// possible preemption times — rather than by ticking a wall clock. This is
+// what makes schedule prediction fast enough to sit inside an optimizer
+// loop.
+//
+// Events with equal timestamps are delivered in a total order defined by
+// (time, priority, sequence number), so a simulation run is exactly
+// reproducible given the same inputs.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a unit of work scheduled at a virtual time instant.
+type Event struct {
+	// Time is the virtual time at which the event fires.
+	Time time.Duration
+	// Priority breaks ties between events with the same Time. Lower values
+	// fire first. Engines use this to impose a deterministic ordering
+	// between event kinds (e.g. finishes before submissions at the same
+	// instant).
+	Priority int
+	// Fire is invoked when the event is dispatched. It may schedule
+	// further events.
+	Fire func(now time.Duration)
+
+	seq      uint64
+	index    int
+	canceled bool
+}
+
+// Cancel marks the event so it will be skipped when reached. Canceling an
+// already-fired or already-canceled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel has been called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	queue eventQueue
+	now   time.Duration
+	seq   uint64
+	fired int
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Fired returns the number of events dispatched so far.
+func (e *Engine) Fired() int { return e.fired }
+
+// Len returns the number of pending (possibly canceled) events.
+func (e *Engine) Len() int { return len(e.queue) }
+
+// At schedules fn to run at time t with the given tie-break priority and
+// returns the scheduled event, which the caller may Cancel. Scheduling in
+// the past (t < Now) is clamped to Now: the event fires next.
+func (e *Engine) At(t time.Duration, priority int, fn func(now time.Duration)) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{Time: t, Priority: priority, Fire: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d time.Duration, priority int, fn func(now time.Duration)) *Event {
+	return e.At(e.now+d, priority, fn)
+}
+
+// Step dispatches the next pending event, skipping canceled ones, and
+// reports whether an event was dispatched.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.Time
+		e.fired++
+		ev.Fire(e.now)
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil dispatches events with Time <= horizon. The clock is left at the
+// later of its current value and horizon.
+func (e *Engine) RunUntil(horizon time.Duration) {
+	for len(e.queue) > 0 {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.Time > horizon {
+			break
+		}
+		e.Step()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+}
+
+// peek returns the next non-canceled event without removing it, or nil.
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// eventQueue is a min-heap ordered by (Time, Priority, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	return a.seq < b.seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineZeroValueUsable(t *testing.T) {
+	var e Engine
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Step() {
+		t.Fatal("Step() on empty engine returned true")
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	var e Engine
+	var got []time.Duration
+	times := []time.Duration{5, 1, 3, 2, 4}
+	for _, d := range times {
+		d := d
+		e.At(d, 0, func(now time.Duration) { got = append(got, now) })
+	}
+	e.Run()
+	want := []time.Duration{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPriorityBreaksTies(t *testing.T) {
+	var e Engine
+	var order []int
+	e.At(10, 2, func(time.Duration) { order = append(order, 2) })
+	e.At(10, 0, func(time.Duration) { order = append(order, 0) })
+	e.At(10, 1, func(time.Duration) { order = append(order, 1) })
+	e.Run()
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("order = %v, want [0 1 2]", order)
+		}
+	}
+}
+
+func TestSequenceBreaksEqualPriorityTies(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7, 0, func(time.Duration) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("insertion order not preserved: %v", order)
+		}
+	}
+}
+
+func TestCancelSkipsEvent(t *testing.T) {
+	var e Engine
+	fired := false
+	ev := e.At(1, 0, func(time.Duration) { fired = true })
+	ev.Cancel()
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if e.Fired() != 0 {
+		t.Fatalf("Fired() = %d, want 0", e.Fired())
+	}
+}
+
+func TestSchedulingInPastClampsToNow(t *testing.T) {
+	var e Engine
+	var at time.Duration = -1
+	e.At(10, 0, func(now time.Duration) {
+		e.At(3, 0, func(inner time.Duration) { at = inner })
+	})
+	e.Run()
+	if at != 10 {
+		t.Fatalf("past event fired at %v, want clamped to 10", at)
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	var e Engine
+	var at time.Duration
+	e.At(4, 0, func(now time.Duration) {
+		e.After(6, 0, func(inner time.Duration) { at = inner })
+	})
+	e.Run()
+	if at != 10 {
+		t.Fatalf("After fired at %v, want 10", at)
+	}
+}
+
+func TestRunUntilStopsAtHorizon(t *testing.T) {
+	var e Engine
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 5, 9, 11, 20} {
+		e.At(d, 0, func(now time.Duration) { fired = append(fired, now) })
+	}
+	e.RunUntil(10)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events before horizon, want 3 (%v)", len(fired), fired)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %v, want 10", e.Now())
+	}
+	if e.Len() != 2 {
+		t.Fatalf("Len() = %d pending, want 2", e.Len())
+	}
+	e.RunUntil(25)
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesClockWithEmptyQueue(t *testing.T) {
+	var e Engine
+	e.RunUntil(42)
+	if e.Now() != 42 {
+		t.Fatalf("Now() = %v, want 42", e.Now())
+	}
+}
+
+func TestEventsScheduledDuringRunFire(t *testing.T) {
+	var e Engine
+	count := 0
+	var chain func(now time.Duration)
+	chain = func(now time.Duration) {
+		count++
+		if count < 100 {
+			e.After(1, 0, chain)
+		}
+	}
+	e.At(0, 0, chain)
+	e.Run()
+	if count != 100 {
+		t.Fatalf("chain fired %d times, want 100", count)
+	}
+	if e.Now() != 99 {
+		t.Fatalf("Now() = %v, want 99", e.Now())
+	}
+}
+
+func TestFiredCounts(t *testing.T) {
+	var e Engine
+	for i := 0; i < 5; i++ {
+		e.At(time.Duration(i), 0, func(time.Duration) {})
+	}
+	e.Run()
+	if e.Fired() != 5 {
+		t.Fatalf("Fired() = %d, want 5", e.Fired())
+	}
+}
+
+// Property: events always fire in nondecreasing (Time, Priority) order no
+// matter the insertion order.
+func TestPropertyFireOrderSorted(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var e Engine
+		type key struct {
+			t time.Duration
+			p int
+		}
+		var fired []key
+		count := int(n%64) + 1
+		for i := 0; i < count; i++ {
+			tm := time.Duration(rng.Intn(50))
+			pr := rng.Intn(5)
+			e.At(tm, pr, func(now time.Duration) {
+				fired = append(fired, key{tm, pr})
+			})
+		}
+		e.Run()
+		if len(fired) != count {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool {
+			if fired[i].t != fired[j].t {
+				return fired[i].t < fired[j].t
+			}
+			return fired[i].p < fired[j].p
+		})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canceling a random subset fires exactly the complement.
+func TestPropertyCancelComplement(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var e Engine
+		count := int(n%32) + 1
+		events := make([]*Event, count)
+		firedCount := 0
+		for i := 0; i < count; i++ {
+			events[i] = e.At(time.Duration(rng.Intn(20)), 0, func(time.Duration) { firedCount++ })
+		}
+		canceled := 0
+		for _, ev := range events {
+			if rng.Intn(2) == 0 {
+				ev.Cancel()
+				canceled++
+			}
+		}
+		e.Run()
+		return firedCount == count-canceled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var e Engine
+		for j := 0; j < 1000; j++ {
+			e.At(time.Duration(j%97), j%3, func(time.Duration) {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,174 @@
+// Package whatif implements Tempo's What-if Model (§7): it answers "what
+// would the QS vector be if the RM ran configuration x on workload w?" by
+// composing the Workload Generator, the fast Schedule Predictor, and QS
+// evaluation. The Optimizer calls it for every candidate configuration it
+// explores.
+package whatif
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"tempo/internal/cluster"
+	"tempo/internal/qs"
+	"tempo/internal/workload"
+)
+
+// Generator produces the workload for one what-if sample. Implementations
+// may replay a fixed historical trace (sample index ignored) or synthesize
+// fresh workloads with the same statistical characteristics per sample —
+// the two modes of §7.1.
+type Generator func(sample int) (*workload.Trace, error)
+
+// Predictor turns (workload, configuration) into a task schedule. The
+// default is the built-in fast Schedule Predictor; §7.2 notes Tempo can
+// instead drive existing RM simulators (Borg, Apollo, Omega, the YARN
+// Scheduler Load Simulator, ...) — an adapter for such a simulator
+// implements this signature.
+type Predictor func(trace *workload.Trace, cfg cluster.Config, horizon time.Duration) (*cluster.Schedule, error)
+
+// DefaultPredictor is the built-in time-warp Schedule Predictor.
+func DefaultPredictor(trace *workload.Trace, cfg cluster.Config, horizon time.Duration) (*cluster.Schedule, error) {
+	return cluster.Run(trace, cfg, cluster.Options{Horizon: horizon})
+}
+
+// Model evaluates QS vectors for candidate RM configurations.
+type Model struct {
+	// Templates define the QS vector's components, in order.
+	Templates []qs.Template
+	// Gen supplies the workload for each sample.
+	Gen Generator
+	// Samples is how many workload draws to average per evaluation,
+	// realizing the expectation E[f(x; w)] of problem (SP1). Minimum 1.
+	Samples int
+	// Horizon optionally caps each predicted run; zero runs every job to
+	// completion.
+	Horizon time.Duration
+	// Predict produces the task schedule; nil uses DefaultPredictor.
+	Predict Predictor
+}
+
+// New returns a model over the given generator.
+func New(templates []qs.Template, gen Generator) (*Model, error) {
+	if len(templates) == 0 {
+		return nil, errors.New("whatif: no QS templates")
+	}
+	for _, t := range templates {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if gen == nil {
+		return nil, errors.New("whatif: nil workload generator")
+	}
+	return &Model{Templates: templates, Gen: gen, Samples: 1}, nil
+}
+
+// FromTrace returns a model that replays one fixed trace — the "replaying
+// historical traces" mode.
+func FromTrace(templates []qs.Template, trace *workload.Trace) (*Model, error) {
+	if trace == nil {
+		return nil, errors.New("whatif: nil trace")
+	}
+	return New(templates, func(int) (*workload.Trace, error) { return trace, nil })
+}
+
+// FromProfiles returns a model that synthesizes a fresh workload per sample
+// from statistical tenant profiles — the "statistical model" mode, which
+// §7.1 notes can also test sensitivity and extended characteristics.
+func FromProfiles(templates []qs.Template, profiles []workload.TenantProfile, horizon time.Duration, baseSeed int64) (*Model, error) {
+	gen := func(sample int) (*workload.Trace, error) {
+		return workload.Generate(profiles, workload.GenerateOptions{
+			Horizon: horizon,
+			Seed:    baseSeed + int64(sample)*7919,
+			Name:    fmt.Sprintf("whatif-%d", sample),
+		})
+	}
+	return New(templates, gen)
+}
+
+// Evaluate predicts the QS vector under cfg, averaged over the model's
+// sample count.
+func (m *Model) Evaluate(cfg cluster.Config) ([]float64, error) {
+	samples := m.Samples
+	if samples < 1 {
+		samples = 1
+	}
+	acc := make([]float64, len(m.Templates))
+	predict := m.Predict
+	if predict == nil {
+		predict = DefaultPredictor
+	}
+	for s := 0; s < samples; s++ {
+		trace, err := m.Gen(s)
+		if err != nil {
+			return nil, fmt.Errorf("whatif: generating sample %d: %w", s, err)
+		}
+		sched, err := predict(trace, cfg, m.Horizon)
+		if err != nil {
+			return nil, fmt.Errorf("whatif: predicting sample %d: %w", s, err)
+		}
+		v := qs.EvalAll(m.Templates, sched, 0, sched.Horizon+time.Nanosecond)
+		for i := range acc {
+			acc[i] += v[i]
+		}
+	}
+	for i := range acc {
+		acc[i] /= float64(samples)
+	}
+	return acc, nil
+}
+
+// Sensitivity evaluates cfg over n independent workload draws and returns
+// the per-objective mean and standard deviation of the QS vector — §7.1's
+// "generate multiple synthetic workloads with the same distribution in
+// order to test the sensitivity of parameter settings". A configuration
+// whose QS varies wildly across draws is fragile even if its mean looks
+// good.
+func (m *Model) Sensitivity(cfg cluster.Config, n int) (mean, stddev []float64, err error) {
+	if n < 2 {
+		return nil, nil, errors.New("whatif: sensitivity needs n >= 2 samples")
+	}
+	predict := m.Predict
+	if predict == nil {
+		predict = DefaultPredictor
+	}
+	k := len(m.Templates)
+	sum := make([]float64, k)
+	sumSq := make([]float64, k)
+	for s := 0; s < n; s++ {
+		trace, err := m.Gen(s)
+		if err != nil {
+			return nil, nil, fmt.Errorf("whatif: generating sample %d: %w", s, err)
+		}
+		sched, err := predict(trace, cfg, m.Horizon)
+		if err != nil {
+			return nil, nil, fmt.Errorf("whatif: predicting sample %d: %w", s, err)
+		}
+		v := qs.EvalAll(m.Templates, sched, 0, sched.Horizon+time.Nanosecond)
+		for i := range v {
+			sum[i] += v[i]
+			sumSq[i] += v[i] * v[i]
+		}
+	}
+	mean = make([]float64, k)
+	stddev = make([]float64, k)
+	for i := 0; i < k; i++ {
+		mean[i] = sum[i] / float64(n)
+		variance := sumSq[i]/float64(n) - mean[i]*mean[i]
+		if variance < 0 {
+			variance = 0
+		}
+		stddev[i] = math.Sqrt(variance)
+	}
+	return mean, stddev, nil
+}
+
+// EvaluateSchedule scores an already-produced schedule against the model's
+// templates over [0, horizon]. The control loop uses this to evaluate the
+// *observed* task schedule each iteration.
+func (m *Model) EvaluateSchedule(sched *cluster.Schedule) []float64 {
+	return qs.EvalAll(m.Templates, sched, 0, sched.Horizon+time.Nanosecond)
+}

@@ -1,0 +1,172 @@
+package whatif
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tempo/internal/cluster"
+	"tempo/internal/qs"
+	"tempo/internal/workload"
+)
+
+func testTemplates() []qs.Template {
+	return []qs.Template{
+		{Queue: "A", Metric: qs.AvgResponseTime},
+		{Queue: "A", Metric: qs.Utilization},
+	}
+}
+
+func testTrace(t *testing.T) *workload.Trace {
+	t.Helper()
+	tr, err := workload.Generate(
+		[]workload.TenantProfile{workload.BestEffort("A", 1)},
+		workload.GenerateOptions{Horizon: time.Hour, Seed: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestFromTraceEvaluate(t *testing.T) {
+	m, err := FromTrace(testTemplates(), testTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.Config{TotalContainers: 20, Tenants: map[string]cluster.TenantConfig{"A": {Weight: 1}}}
+	v, err := m.Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 2 {
+		t.Fatalf("QS vector length %d", len(v))
+	}
+	if v[0] <= 0 {
+		t.Fatalf("AJR = %v, want positive", v[0])
+	}
+	if v[1] >= 0 {
+		t.Fatalf("UTIL = %v, want negative", v[1])
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	m, err := FromTrace(testTemplates(), testTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.Config{TotalContainers: 20, Tenants: map[string]cluster.TenantConfig{"A": {Weight: 1}}}
+	a, _ := m.Evaluate(cfg)
+	b, _ := m.Evaluate(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic evaluation: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestEvaluateRespondsToCapacity(t *testing.T) {
+	m, err := FromTrace(testTemplates(), testTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, _ := m.Evaluate(cluster.Config{TotalContainers: 5, Tenants: map[string]cluster.TenantConfig{"A": {Weight: 1}}})
+	big, _ := m.Evaluate(cluster.Config{TotalContainers: 60, Tenants: map[string]cluster.TenantConfig{"A": {Weight: 1}}})
+	if big[0] >= small[0] {
+		t.Fatalf("AJR should improve with capacity: %v vs %v", big[0], small[0])
+	}
+}
+
+func TestFromProfilesAveragesSamples(t *testing.T) {
+	m, err := FromProfiles(testTemplates(),
+		[]workload.TenantProfile{workload.BestEffort("A", 1)},
+		time.Hour, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.Config{TotalContainers: 20, Tenants: map[string]cluster.TenantConfig{"A": {Weight: 1}}}
+	m.Samples = 1
+	one, err := m.Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Samples = 4
+	four, err := m.Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Averaging over different draws should generally move the value.
+	if one[0] == four[0] {
+		t.Log("averaged value equals single sample; suspicious but not fatal")
+	}
+	if four[0] <= 0 {
+		t.Fatalf("averaged AJR = %v", four[0])
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, func(int) (*workload.Trace, error) { return nil, nil }); err == nil {
+		t.Fatal("empty templates accepted")
+	}
+	if _, err := New(testTemplates(), nil); err == nil {
+		t.Fatal("nil generator accepted")
+	}
+	bad := []qs.Template{{Queue: "", Metric: qs.AvgResponseTime}}
+	if _, err := New(bad, func(int) (*workload.Trace, error) { return nil, nil }); err == nil {
+		t.Fatal("invalid template accepted")
+	}
+	if _, err := FromTrace(testTemplates(), nil); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+}
+
+func TestEvaluatePropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	m, err := New(testTemplates(), func(int) (*workload.Trace, error) { return nil, boom })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Evaluate(cluster.Config{TotalContainers: 1}); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	// Bad config surfaces the cluster error.
+	m2, _ := FromTrace(testTemplates(), testTrace(t))
+	if _, err := m2.Evaluate(cluster.Config{TotalContainers: 0}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestEvaluateSchedule(t *testing.T) {
+	m, err := FromTrace(testTemplates(), testTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.Config{TotalContainers: 20, Tenants: map[string]cluster.TenantConfig{"A": {Weight: 1}}}
+	sched, err := cluster.Predict(testTrace(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := m.EvaluateSchedule(sched)
+	direct, _ := m.Evaluate(cfg)
+	for i := range v {
+		if v[i] != direct[i] {
+			t.Fatalf("EvaluateSchedule %v != Evaluate %v", v, direct)
+		}
+	}
+}
+
+func TestHorizonCapsPrediction(t *testing.T) {
+	m, err := FromTrace(testTemplates(), testTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Horizon = 10 * time.Minute
+	cfg := cluster.Config{TotalContainers: 20, Tenants: map[string]cluster.TenantConfig{"A": {Weight: 1}}}
+	v, err := m.Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 2 {
+		t.Fatal("vector length")
+	}
+}

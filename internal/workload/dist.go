@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Dist is a one-dimensional probability distribution. All sampling in the
+// workload generator flows through this interface so profiles can mix
+// closed-form and empirical distributions freely.
+type Dist interface {
+	// Sample draws one value using the supplied source of randomness.
+	Sample(rng *rand.Rand) float64
+	// Mean returns the distribution's expectation (used for deadline and
+	// provisioning estimates).
+	Mean() float64
+}
+
+// Constant is a degenerate distribution.
+type Constant float64
+
+// Sample implements Dist.
+func (c Constant) Sample(*rand.Rand) float64 { return float64(c) }
+
+// Mean implements Dist.
+func (c Constant) Mean() float64 { return float64(c) }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi].
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// Sample implements Dist.
+func (u Uniform) Sample(rng *rand.Rand) float64 { return u.Lo + rng.Float64()*(u.Hi-u.Lo) }
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Exponential has the given mean (not rate), which reads naturally in
+// profile definitions.
+type Exponential struct {
+	MeanVal float64
+}
+
+// Sample implements Dist.
+func (e Exponential) Sample(rng *rand.Rand) float64 { return rng.ExpFloat64() * e.MeanVal }
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 { return e.MeanVal }
+
+// Lognormal is parameterized by the underlying normal's Mu and Sigma.
+// The paper (§7.1) reports task durations approximately lognormal.
+type Lognormal struct {
+	Mu, Sigma float64
+}
+
+// Sample implements Dist.
+func (l Lognormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+// Mean implements Dist.
+func (l Lognormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// LognormalFromMean constructs a Lognormal with the given mean and the
+// given sigma of the underlying normal — the natural way to say "mean task
+// duration 90s with heavy spread".
+func LognormalFromMean(mean, sigma float64) Lognormal {
+	if mean <= 0 {
+		panic(fmt.Sprintf("workload: lognormal mean must be positive, got %g", mean))
+	}
+	return Lognormal{Mu: math.Log(mean) - sigma*sigma/2, Sigma: sigma}
+}
+
+// Pareto is the heavy-tailed distribution with minimum Scale and shape
+// Alpha; job input sizes in production MapReduce clusters are famously
+// heavy-tailed (SWIM).
+type Pareto struct {
+	Scale, Alpha float64
+}
+
+// Sample implements Dist.
+func (p Pareto) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return p.Scale / math.Pow(u, 1/p.Alpha)
+}
+
+// Mean implements Dist. For Alpha <= 1 the mean diverges; we report +Inf.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Scale / (p.Alpha - 1)
+}
+
+// Mixture draws from one of several components with given weights.
+type Mixture struct {
+	Weights    []float64
+	Components []Dist
+}
+
+// Sample implements Dist.
+func (m Mixture) Sample(rng *rand.Rand) float64 {
+	return m.Components[m.pick(rng)].Sample(rng)
+}
+
+func (m Mixture) pick(rng *rand.Rand) int {
+	if len(m.Weights) != len(m.Components) || len(m.Components) == 0 {
+		panic("workload: mixture weights/components mismatch")
+	}
+	var total float64
+	for _, w := range m.Weights {
+		total += w
+	}
+	u := rng.Float64() * total
+	for i, w := range m.Weights {
+		u -= w
+		if u <= 0 {
+			return i
+		}
+	}
+	return len(m.Components) - 1
+}
+
+// Mean implements Dist.
+func (m Mixture) Mean() float64 {
+	var total, mean float64
+	for _, w := range m.Weights {
+		total += w
+	}
+	for i, w := range m.Weights {
+		mean += w / total * m.Components[i].Mean()
+	}
+	return mean
+}
+
+// Empirical samples uniformly from observed values — the trace-replay end
+// of the workload-generation spectrum.
+type Empirical struct {
+	Values []float64
+}
+
+// Sample implements Dist.
+func (e Empirical) Sample(rng *rand.Rand) float64 {
+	if len(e.Values) == 0 {
+		panic("workload: empirical distribution with no values")
+	}
+	return e.Values[rng.Intn(len(e.Values))]
+}
+
+// Mean implements Dist.
+func (e Empirical) Mean() float64 {
+	if len(e.Values) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range e.Values {
+		s += v
+	}
+	return s / float64(len(e.Values))
+}
+
+// Quantile returns the q-th empirical quantile (0 <= q <= 1).
+func (e Empirical) Quantile(q float64) float64 {
+	if len(e.Values) == 0 {
+		return 0
+	}
+	vals := append([]float64(nil), e.Values...)
+	sort.Float64s(vals)
+	idx := int(q * float64(len(vals)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(vals) {
+		idx = len(vals) - 1
+	}
+	return vals[idx]
+}
+
+// Clamped limits another distribution's samples to [Lo, Hi], which keeps
+// heavy tails from producing absurd task durations in small simulations.
+type Clamped struct {
+	D      Dist
+	Lo, Hi float64
+}
+
+// Sample implements Dist.
+func (c Clamped) Sample(rng *rand.Rand) float64 {
+	v := c.D.Sample(rng)
+	if v < c.Lo {
+		return c.Lo
+	}
+	if v > c.Hi {
+		return c.Hi
+	}
+	return v
+}
+
+// Mean implements Dist. The clamp is ignored for the analytic mean except
+// for the obvious bounds; callers needing precision should use sampling.
+func (c Clamped) Mean() float64 {
+	m := c.D.Mean()
+	if m < c.Lo {
+		return c.Lo
+	}
+	if m > c.Hi {
+		return c.Hi
+	}
+	return m
+}

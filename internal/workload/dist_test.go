@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleMean(d Dist, n int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	var s float64
+	for i := 0; i < n; i++ {
+		s += d.Sample(rng)
+	}
+	return s / float64(n)
+}
+
+func TestConstant(t *testing.T) {
+	d := Constant(7)
+	if d.Sample(nil) != 7 || d.Mean() != 7 {
+		t.Fatal("Constant broken")
+	}
+}
+
+func TestUniformRangeAndMean(t *testing.T) {
+	d := Uniform{Lo: 2, Hi: 4}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(rng)
+		if v < 2 || v > 4 {
+			t.Fatalf("uniform sample %v out of range", v)
+		}
+	}
+	if d.Mean() != 3 {
+		t.Fatalf("Mean = %v, want 3", d.Mean())
+	}
+	if m := sampleMean(d, 20000, 2); math.Abs(m-3) > 0.05 {
+		t.Fatalf("empirical mean = %v", m)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	d := Exponential{MeanVal: 5}
+	if d.Mean() != 5 {
+		t.Fatal("analytic mean wrong")
+	}
+	if m := sampleMean(d, 50000, 3); math.Abs(m-5) > 0.2 {
+		t.Fatalf("empirical mean = %v, want ≈ 5", m)
+	}
+}
+
+func TestLognormalFromMean(t *testing.T) {
+	d := LognormalFromMean(100, 0.8)
+	if math.Abs(d.Mean()-100) > 1e-9 {
+		t.Fatalf("analytic mean = %v, want 100", d.Mean())
+	}
+	if m := sampleMean(d, 200000, 4); math.Abs(m-100) > 5 {
+		t.Fatalf("empirical mean = %v, want ≈ 100", m)
+	}
+}
+
+func TestLognormalFromMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LognormalFromMean(0, 1)
+}
+
+func TestParetoTailAndMean(t *testing.T) {
+	d := Pareto{Scale: 10, Alpha: 2}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		if v := d.Sample(rng); v < 10 {
+			t.Fatalf("pareto sample %v below scale", v)
+		}
+	}
+	if d.Mean() != 20 {
+		t.Fatalf("Mean = %v, want 20", d.Mean())
+	}
+	if !math.IsInf(Pareto{Scale: 1, Alpha: 0.9}.Mean(), 1) {
+		t.Fatal("alpha <= 1 should have infinite mean")
+	}
+}
+
+func TestMixtureMeanAndSampling(t *testing.T) {
+	m := Mixture{
+		Weights:    []float64{1, 3},
+		Components: []Dist{Constant(0), Constant(4)},
+	}
+	if m.Mean() != 3 {
+		t.Fatalf("Mean = %v, want 3", m.Mean())
+	}
+	if got := sampleMean(m, 40000, 6); math.Abs(got-3) > 0.05 {
+		t.Fatalf("empirical mean = %v", got)
+	}
+}
+
+func TestMixtureMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mixture{Weights: []float64{1}}.Sample(rand.New(rand.NewSource(1)))
+}
+
+func TestEmpirical(t *testing.T) {
+	e := Empirical{Values: []float64{1, 2, 3, 4}}
+	if e.Mean() != 2.5 {
+		t.Fatalf("Mean = %v", e.Mean())
+	}
+	rng := rand.New(rand.NewSource(7))
+	seen := map[float64]bool{}
+	for i := 0; i < 200; i++ {
+		seen[e.Sample(rng)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("sampled %d distinct values, want 4", len(seen))
+	}
+	if q := e.Quantile(0.5); q != 2 && q != 3 {
+		t.Fatalf("median = %v", q)
+	}
+	if e.Quantile(0) != 1 || e.Quantile(1) != 4 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if (Empirical{}).Mean() != 0 || (Empirical{}).Quantile(0.5) != 0 {
+		t.Fatal("empty empirical should be zero-valued")
+	}
+}
+
+func TestEmpiricalEmptySamplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(Empirical{}).Sample(rand.New(rand.NewSource(1)))
+}
+
+func TestClamped(t *testing.T) {
+	d := Clamped{D: Uniform{Lo: -10, Hi: 10}, Lo: 0, Hi: 5}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(rng)
+		if v < 0 || v > 5 {
+			t.Fatalf("clamped sample %v out of [0,5]", v)
+		}
+	}
+	if (Clamped{D: Constant(-3), Lo: 0, Hi: 5}).Mean() != 0 {
+		t.Fatal("mean not clamped low")
+	}
+	if (Clamped{D: Constant(9), Lo: 0, Hi: 5}).Mean() != 5 {
+		t.Fatal("mean not clamped high")
+	}
+	if (Clamped{D: Constant(2), Lo: 0, Hi: 5}).Mean() != 2 {
+		t.Fatal("in-range mean altered")
+	}
+}
+
+// Property: lognormal samples are always positive and LognormalFromMean
+// keeps its promise for any positive mean/sigma.
+func TestPropertyLognormalPositiveAndMeanMatched(t *testing.T) {
+	f := func(seed int64, meanSeed, sigmaSeed uint8) bool {
+		mean := 1 + float64(meanSeed)
+		sigma := 0.1 + float64(sigmaSeed%30)/10
+		d := LognormalFromMean(mean, sigma)
+		if math.Abs(d.Mean()-mean) > 1e-6 {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			if d.Sample(rng) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

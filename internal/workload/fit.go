@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Fit estimates a TenantProfile from a tenant's jobs in a trace — the
+// "statistical model ... trained from historical traces" of §7.1. Task
+// durations are fitted as lognormal (log-moment matching), task counts as
+// lognormal, and arrivals as a homogeneous Poisson process over the trace
+// horizon. Deadline factors are fitted from observed deadline/ideal ratios
+// when deadlines are present.
+func Fit(trace *Trace, tenant string) (TenantProfile, error) {
+	jobs := trace.ByTenant(tenant)
+	if len(jobs) == 0 {
+		return TenantProfile{}, fmt.Errorf("workload: no jobs for tenant %q", tenant)
+	}
+	horizon := trace.Horizon
+	if horizon <= 0 {
+		for i := range jobs {
+			if jobs[i].Submit > horizon {
+				horizon = jobs[i].Submit
+			}
+		}
+		if horizon <= 0 {
+			horizon = time.Hour
+		}
+	}
+
+	var nMaps, nReds, mapSecs, redSecs, dlFactors []float64
+	for i := range jobs {
+		j := &jobs[i]
+		maps, reds := 0, 0
+		for _, s := range j.Stages {
+			for _, t := range s.Tasks {
+				if t.Kind == Map {
+					maps++
+					mapSecs = append(mapSecs, t.Duration.Seconds())
+				} else {
+					reds++
+					redSecs = append(redSecs, t.Duration.Seconds())
+				}
+			}
+		}
+		nMaps = append(nMaps, float64(maps))
+		nReds = append(nReds, float64(reds))
+		if j.Deadline > j.Submit {
+			ideal := idealDuration(j, 10)
+			if ideal > 0 {
+				dlFactors = append(dlFactors, float64(j.Deadline-j.Submit)/float64(ideal))
+			}
+		}
+	}
+
+	p := TenantProfile{
+		Name:        tenant,
+		JobsPerHour: float64(len(jobs)) / horizon.Hours(),
+		NumMaps:     fitLognormal(nMaps),
+		MapSeconds:  fitLognormal(mapSecs),
+	}
+	if len(redSecs) > 0 {
+		p.NumReduces = fitLognormal(nReds)
+		p.ReduceSeconds = fitLognormal(redSecs)
+	}
+	if len(dlFactors) > 0 {
+		lo, hi := minMax(dlFactors)
+		p.DeadlineFactor = Uniform{Lo: lo, Hi: hi}
+	}
+	return p, nil
+}
+
+// FitAll fits a profile for every tenant in the trace.
+func FitAll(trace *Trace) ([]TenantProfile, error) {
+	var out []TenantProfile
+	for _, tenant := range trace.Tenants() {
+		p, err := Fit(trace, tenant)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// fitLognormal matches log-moments, guarding degenerate inputs. Zeros are
+// floored to a small positive value so map-only jobs (zero reduces) do not
+// blow up the log.
+func fitLognormal(values []float64) Dist {
+	if len(values) == 0 {
+		return Constant(0)
+	}
+	var sum, sumSq float64
+	n := 0
+	for _, v := range values {
+		if v < 1e-6 {
+			v = 1e-6
+		}
+		l := math.Log(v)
+		sum += l
+		sumSq += l * l
+		n++
+	}
+	mu := sum / float64(n)
+	variance := sumSq/float64(n) - mu*mu
+	if variance < 0 {
+		variance = 0
+	}
+	sigma := math.Sqrt(variance)
+	if sigma < 1e-9 {
+		return Constant(math.Exp(mu))
+	}
+	lo, hi := minMax(values)
+	return Clamped{D: Lognormal{Mu: mu, Sigma: sigma}, Lo: lo, Hi: hi * 2}
+}
+
+func minMax(values []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}

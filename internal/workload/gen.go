@@ -1,0 +1,274 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Modulator scales a tenant's base arrival rate as a function of trace
+// time, modelling the diurnal and weekly patterns Concern D describes
+// (e.g. ETL input shrinking on weekends).
+type Modulator func(t time.Duration) float64
+
+// Flat is the identity modulator.
+func Flat(time.Duration) float64 { return 1 }
+
+// DiurnalWeekly returns a modulator with a smooth day/night cycle and a
+// weekend dip. night and weekend are multipliers in [0, 1]; 1 disables the
+// respective effect. The trace is assumed to start at Monday 00:00.
+func DiurnalWeekly(night, weekend float64) Modulator {
+	return func(t time.Duration) float64 {
+		hours := t.Hours()
+		dayFrac := math.Mod(hours, 24) / 24
+		// Peak mid-day, trough at midnight.
+		diurnal := night + (1-night)*(0.5-0.5*math.Cos(2*math.Pi*dayFrac))
+		day := int(hours/24) % 7
+		w := 1.0
+		if day >= 5 { // Saturday, Sunday
+			w = weekend
+		}
+		return diurnal * w
+	}
+}
+
+// Periodic returns a modulator that fires bursts of the given width every
+// period, modelling periodic-but-bursty tenants like ETL (Table 1). The
+// rate is boost inside the burst window and floor outside.
+func Periodic(period, width time.Duration, floor, boost float64) Modulator {
+	return func(t time.Duration) float64 {
+		if period <= 0 {
+			return 1
+		}
+		phase := t % period
+		if phase < width {
+			return boost
+		}
+		return floor
+	}
+}
+
+// TenantProfile is the statistical model of one tenant's workload: a
+// (possibly modulated) Poisson job-arrival process with per-job size and
+// duration distributions. It is the "statistical model of the workload"
+// input of Tempo's Workload Generator (§7.1).
+type TenantProfile struct {
+	// Name is the tenant (queue) name.
+	Name string
+	// JobsPerHour is the base Poisson arrival rate.
+	JobsPerHour float64
+	// Rate modulates JobsPerHour over trace time; nil means constant.
+	Rate Modulator
+	// NumMaps and NumReduces draw per-job task counts; samples are rounded
+	// and clamped to >= 0 (NumMaps to >= 1). Nil NumReduces means map-only.
+	NumMaps    Dist
+	NumReduces Dist
+	// MapSeconds and ReduceSeconds draw per-task durations in seconds.
+	MapSeconds    Dist
+	ReduceSeconds Dist
+	// DeadlineFactor, when non-nil, attaches deadlines: a job submitted at
+	// s with ideal duration d (critical path at DeadlineParallelism-way
+	// parallelism) gets deadline s + factor·d.
+	DeadlineFactor Dist
+	// DeadlineParallelism is the container count assumed when estimating
+	// the ideal duration for deadline placement; defaults to 10.
+	DeadlineParallelism int
+}
+
+func (p *TenantProfile) validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile with empty name")
+	}
+	if p.JobsPerHour <= 0 {
+		return fmt.Errorf("workload: profile %s has non-positive rate", p.Name)
+	}
+	if p.NumMaps == nil || p.MapSeconds == nil {
+		return fmt.Errorf("workload: profile %s missing map distributions", p.Name)
+	}
+	if p.NumReduces != nil && p.ReduceSeconds == nil {
+		return fmt.Errorf("workload: profile %s has reduces but no reduce durations", p.Name)
+	}
+	return nil
+}
+
+// idealDuration estimates how long a job would take with p-way parallelism
+// per stage: used only for deadline placement.
+func idealDuration(job *JobSpec, parallelism int) time.Duration {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	var total time.Duration
+	for _, s := range job.Stages {
+		var work, maxTask time.Duration
+		for _, t := range s.Tasks {
+			work += t.Duration
+			if t.Duration > maxTask {
+				maxTask = t.Duration
+			}
+		}
+		waves := work / time.Duration(parallelism)
+		if waves < maxTask {
+			waves = maxTask
+		}
+		total += waves
+	}
+	return total
+}
+
+// GenerateOptions configure trace synthesis.
+type GenerateOptions struct {
+	// Horizon is the trace length; required.
+	Horizon time.Duration
+	// Seed drives all randomness; the same (profiles, options) pair always
+	// yields the same trace.
+	Seed int64
+	// Name labels the trace.
+	Name string
+}
+
+// Generate synthesizes a trace from tenant profiles. Arrivals follow a
+// time-modulated Poisson process realized by thinning; task durations and
+// job sizes are drawn from the per-profile distributions.
+func Generate(profiles []TenantProfile, opts GenerateOptions) (*Trace, error) {
+	if opts.Horizon <= 0 {
+		return nil, fmt.Errorf("workload: non-positive horizon %v", opts.Horizon)
+	}
+	trace := &Trace{Name: opts.Name, Horizon: opts.Horizon}
+	for pi := range profiles {
+		p := &profiles[pi]
+		if err := p.validate(); err != nil {
+			return nil, err
+		}
+		// Independent stream per tenant so adding a tenant does not change
+		// the others' draws.
+		rng := rand.New(rand.NewSource(opts.Seed ^ int64(hashString(p.Name))))
+		mod := p.Rate
+		if mod == nil {
+			mod = Flat
+		}
+		// Thinning needs an upper bound on the modulated rate; probe the
+		// modulator coarsely and add headroom.
+		maxMod := 1.0
+		step := opts.Horizon / 200
+		if step <= 0 {
+			step = opts.Horizon
+		}
+		for t := time.Duration(0); t <= opts.Horizon; t += step {
+			if m := mod(t); m > maxMod {
+				maxMod = m
+			}
+		}
+		maxRate := p.JobsPerHour * maxMod // jobs per hour
+		seq := 0
+		for t := time.Duration(0); ; {
+			// Exponential inter-arrival at the envelope rate.
+			gap := time.Duration(rng.ExpFloat64() / maxRate * float64(time.Hour))
+			if gap <= 0 {
+				gap = time.Nanosecond
+			}
+			t += gap
+			if t >= opts.Horizon {
+				break
+			}
+			if rng.Float64() > mod(t)*p.JobsPerHour/maxRate {
+				continue // thinned out
+			}
+			job := p.sampleJob(rng, t, seq)
+			seq++
+			trace.Jobs = append(trace.Jobs, job)
+		}
+	}
+	trace.Sort()
+	return trace, nil
+}
+
+func (p *TenantProfile) sampleJob(rng *rand.Rand, submit time.Duration, seq int) JobSpec {
+	nMaps := clampInt(p.NumMaps.Sample(rng), 1, 1<<20)
+	mapDur := make([]time.Duration, nMaps)
+	for i := range mapDur {
+		mapDur[i] = secondsToDuration(p.MapSeconds.Sample(rng))
+	}
+	var redDur []time.Duration
+	if p.NumReduces != nil {
+		nRed := clampInt(p.NumReduces.Sample(rng), 0, 1<<20)
+		redDur = make([]time.Duration, nRed)
+		for i := range redDur {
+			redDur[i] = secondsToDuration(p.ReduceSeconds.Sample(rng))
+		}
+	}
+	job := NewMapReduceJob(fmt.Sprintf("%s-%06d", p.Name, seq), p.Name, submit, mapDur, redDur)
+	if p.DeadlineFactor != nil {
+		par := p.DeadlineParallelism
+		if par == 0 {
+			par = 10
+		}
+		factor := p.DeadlineFactor.Sample(rng)
+		if factor < 1 {
+			factor = 1
+		}
+		ideal := idealDuration(&job, par)
+		job.Deadline = submit + time.Duration(float64(ideal)*factor)
+	}
+	return job
+}
+
+func clampInt(v float64, lo, hi int) int {
+	n := int(math.Round(v))
+	if n < lo {
+		return lo
+	}
+	if n > hi {
+		return hi
+	}
+	return n
+}
+
+func secondsToDuration(s float64) time.Duration {
+	if s < 0.001 {
+		s = 0.001
+	}
+	return time.Duration(s * float64(time.Second))
+}
+
+// Grow returns a copy of the profile with the workload's data size scaled
+// by the given factor — §7.1's "synthetic workloads with extended
+// characteristics such as a growth in data size by 30%" (factor 1.3).
+// Data growth in MapReduce-style systems shows up as more input splits,
+// so the map count scales with the factor while per-task durations stay
+// put; reduce counts scale with the square root (partition counts grow
+// sublinearly in practice).
+func (p TenantProfile) Grow(factor float64) TenantProfile {
+	if factor <= 0 {
+		factor = 1
+	}
+	out := p
+	out.NumMaps = Scaled{D: p.NumMaps, Factor: factor}
+	if p.NumReduces != nil {
+		out.NumReduces = Scaled{D: p.NumReduces, Factor: math.Sqrt(factor)}
+	}
+	return out
+}
+
+// Scaled multiplies another distribution's samples by a constant factor.
+type Scaled struct {
+	D      Dist
+	Factor float64
+}
+
+// Sample implements Dist.
+func (s Scaled) Sample(rng *rand.Rand) float64 { return s.Factor * s.D.Sample(rng) }
+
+// Mean implements Dist.
+func (s Scaled) Mean() float64 { return s.Factor * s.D.Mean() }
+
+// hashString is FNV-1a, inlined to keep the package dependency-light and
+// the seeds stable across Go releases.
+func hashString(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,303 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func simpleProfile(name string, rate float64) TenantProfile {
+	return TenantProfile{
+		Name:        name,
+		JobsPerHour: rate,
+		NumMaps:     Constant(2),
+		MapSeconds:  Constant(10),
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	profiles := []TenantProfile{simpleProfile("A", 20)}
+	opts := GenerateOptions{Horizon: 4 * time.Hour, Seed: 42, Name: "det"}
+	a, err := Generate(profiles, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(profiles, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("nondeterministic: %d vs %d jobs", len(a.Jobs), len(b.Jobs))
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i].ID != b.Jobs[i].ID || a.Jobs[i].Submit != b.Jobs[i].Submit {
+			t.Fatalf("job %d differs: %+v vs %+v", i, a.Jobs[i], b.Jobs[i])
+		}
+	}
+}
+
+func TestGenerateSeedChangesTrace(t *testing.T) {
+	profiles := []TenantProfile{simpleProfile("A", 20)}
+	a, _ := Generate(profiles, GenerateOptions{Horizon: 4 * time.Hour, Seed: 1})
+	b, _ := Generate(profiles, GenerateOptions{Horizon: 4 * time.Hour, Seed: 2})
+	if len(a.Jobs) == len(b.Jobs) {
+		same := true
+		for i := range a.Jobs {
+			if a.Jobs[i].Submit != b.Jobs[i].Submit {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGeneratePoissonRateApproximate(t *testing.T) {
+	profiles := []TenantProfile{simpleProfile("A", 30)}
+	tr, err := Generate(profiles, GenerateOptions{Horizon: 100 * time.Hour, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(len(tr.Jobs)) / 100
+	if math.Abs(got-30) > 3 {
+		t.Fatalf("generated rate = %v jobs/hr, want ≈ 30", got)
+	}
+}
+
+func TestGenerateAddingTenantPreservesOthers(t *testing.T) {
+	a := simpleProfile("A", 10)
+	b := simpleProfile("B", 15)
+	opts := GenerateOptions{Horizon: 10 * time.Hour, Seed: 11}
+	solo, _ := Generate([]TenantProfile{a}, opts)
+	both, _ := Generate([]TenantProfile{a, b}, opts)
+	soloA := solo.ByTenant("A")
+	bothA := both.ByTenant("A")
+	if len(soloA) != len(bothA) {
+		t.Fatalf("tenant A job count changed: %d vs %d", len(soloA), len(bothA))
+	}
+	for i := range soloA {
+		if soloA[i].Submit != bothA[i].Submit {
+			t.Fatal("tenant A arrivals changed when B was added")
+		}
+	}
+}
+
+func TestGenerateValidTraces(t *testing.T) {
+	tr, err := Generate(CompanyABC(1), GenerateOptions{Horizon: 6 * time.Hour, Seed: 5, Name: "abc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tenants()) != 6 {
+		t.Fatalf("tenants = %v, want 6 ABC tenants", tr.Tenants())
+	}
+}
+
+func TestGenerateDeadlinesOnlyForDeadlineProfiles(t *testing.T) {
+	tr, err := Generate(CompanyABC(1), GenerateOptions{Horizon: 12 * time.Hour, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDeadline := map[string]bool{"APP": true, "MV": true, "ETL": true}
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		hasDL := j.Deadline > 0
+		if hasDL != withDeadline[j.Tenant] {
+			t.Fatalf("tenant %s deadline presence = %v, want %v", j.Tenant, hasDL, withDeadline[j.Tenant])
+		}
+		if hasDL && j.Deadline <= j.Submit {
+			t.Fatalf("job %s deadline %v before submit %v", j.ID, j.Deadline, j.Submit)
+		}
+	}
+}
+
+func TestGenerateRejectsBadInput(t *testing.T) {
+	if _, err := Generate(nil, GenerateOptions{}); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	bad := simpleProfile("", 10)
+	if _, err := Generate([]TenantProfile{bad}, GenerateOptions{Horizon: time.Hour}); err == nil {
+		t.Fatal("empty profile name accepted")
+	}
+	noRate := simpleProfile("X", 0)
+	if _, err := Generate([]TenantProfile{noRate}, GenerateOptions{Horizon: time.Hour}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	noMaps := TenantProfile{Name: "X", JobsPerHour: 1}
+	if _, err := Generate([]TenantProfile{noMaps}, GenerateOptions{Horizon: time.Hour}); err == nil {
+		t.Fatal("missing map dists accepted")
+	}
+	halfRed := TenantProfile{Name: "X", JobsPerHour: 1, NumMaps: Constant(1), MapSeconds: Constant(1), NumReduces: Constant(1)}
+	if _, err := Generate([]TenantProfile{halfRed}, GenerateOptions{Horizon: time.Hour}); err == nil {
+		t.Fatal("reduce count without durations accepted")
+	}
+}
+
+func TestDiurnalWeeklyShape(t *testing.T) {
+	m := DiurnalWeekly(0.2, 0.5)
+	noon := m(12 * time.Hour)
+	midnight := m(0)
+	if noon <= midnight {
+		t.Fatalf("noon %v should exceed midnight %v", noon, midnight)
+	}
+	weekdayNoon := m(12 * time.Hour)
+	saturdayNoon := m((5*24 + 12) * time.Hour)
+	if saturdayNoon >= weekdayNoon {
+		t.Fatalf("weekend %v should be below weekday %v", saturdayNoon, weekdayNoon)
+	}
+	if math.Abs(saturdayNoon-0.5*weekdayNoon) > 1e-9 {
+		t.Fatalf("weekend factor off: %v vs %v", saturdayNoon, weekdayNoon)
+	}
+}
+
+func TestPeriodicModulator(t *testing.T) {
+	m := Periodic(time.Hour, 10*time.Minute, 0.1, 5)
+	if m(5*time.Minute) != 5 {
+		t.Fatal("inside burst should be boosted")
+	}
+	if m(30*time.Minute) != 0.1 {
+		t.Fatal("outside burst should be floored")
+	}
+	if m(65*time.Minute) != 5 {
+		t.Fatal("burst should repeat each period")
+	}
+	if Periodic(0, 0, 0.1, 5)(time.Minute) != 1 {
+		t.Fatal("zero period should be identity")
+	}
+}
+
+func TestModulatedRateWeekendDip(t *testing.T) {
+	p := simpleProfile("A", 40)
+	p.Rate = DiurnalWeekly(1, 0.2) // weekend-only effect
+	tr, err := Generate([]TenantProfile{p}, GenerateOptions{Horizon: 7 * 24 * time.Hour, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weekday, weekend := 0, 0
+	for i := range tr.Jobs {
+		day := int(tr.Jobs[i].Submit.Hours()/24) % 7
+		if day >= 5 {
+			weekend++
+		} else {
+			weekday++
+		}
+	}
+	perWeekday := float64(weekday) / 5
+	perWeekend := float64(weekend) / 2
+	if perWeekend > perWeekday*0.5 {
+		t.Fatalf("weekend rate %v not clearly below weekday %v", perWeekend, perWeekday)
+	}
+}
+
+func TestFitRecoversRateAndScale(t *testing.T) {
+	orig := TenantProfile{
+		Name:          "T",
+		JobsPerHour:   20,
+		NumMaps:       Clamped{D: LognormalFromMean(10, 0.5), Lo: 1, Hi: 100},
+		NumReduces:    Clamped{D: Constant(3), Lo: 0, Hi: 10},
+		MapSeconds:    Clamped{D: LognormalFromMean(30, 0.5), Lo: 1, Hi: 600},
+		ReduceSeconds: Clamped{D: LognormalFromMean(60, 0.5), Lo: 1, Hi: 600},
+	}
+	tr, err := Generate([]TenantProfile{orig}, GenerateOptions{Horizon: 50 * time.Hour, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := Fit(tr, "T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.JobsPerHour-20) > 3 {
+		t.Fatalf("fitted rate = %v, want ≈ 20", fit.JobsPerHour)
+	}
+	if m := fit.MapSeconds.Mean(); math.Abs(m-30) > 10 {
+		t.Fatalf("fitted map seconds mean = %v, want ≈ 30", m)
+	}
+	if fit.NumReduces == nil {
+		t.Fatal("fitted profile lost reduces")
+	}
+}
+
+func TestFitUnknownTenant(t *testing.T) {
+	tr := &Trace{Horizon: time.Hour}
+	if _, err := Fit(tr, "nope"); err == nil {
+		t.Fatal("unknown tenant accepted")
+	}
+}
+
+func TestFitAllCoversTenants(t *testing.T) {
+	tr, err := Generate(CompanyABC(1), GenerateOptions{Horizon: 8 * time.Hour, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles, err := FitAll(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != len(tr.Tenants()) {
+		t.Fatalf("fitted %d profiles for %d tenants", len(profiles), len(tr.Tenants()))
+	}
+	// Fitted profiles must themselves generate valid traces.
+	rt, err := Generate(profiles, GenerateOptions{Horizon: 2 * time.Hour, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitDeadlineFactors(t *testing.T) {
+	p := DeadlineDriven("D", 2)
+	tr, err := Generate([]TenantProfile{p}, GenerateOptions{Horizon: 20 * time.Hour, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := Fit(tr, "D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.DeadlineFactor == nil {
+		t.Fatal("deadline factors not fitted")
+	}
+}
+
+func TestProfileMeansReasonable(t *testing.T) {
+	for _, p := range CompanyABC(1) {
+		if p.MapSeconds.Mean() <= 0 {
+			t.Errorf("%s map seconds mean %v", p.Name, p.MapSeconds.Mean())
+		}
+		if p.JobsPerHour <= 0 {
+			t.Errorf("%s rate %v", p.Name, p.JobsPerHour)
+		}
+	}
+	for _, p := range []TenantProfile{DeadlineDriven("d", 1), BestEffort("b", 1), Facebook("f", 1), Cloudera("c", 1)} {
+		if err := p.validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+	}
+	// scale <= 0 falls back to 1.
+	if CompanyABC(0)[0].JobsPerHour != CompanyABC(1)[0].JobsPerHour {
+		t.Error("scale 0 not defaulted")
+	}
+}
+
+func TestIdealDurationRespectsParallelism(t *testing.T) {
+	j := NewMapReduceJob("j", "T", 0,
+		[]time.Duration{10 * time.Second, 10 * time.Second, 10 * time.Second, 10 * time.Second},
+		nil)
+	serial := idealDuration(&j, 1)
+	if serial != 40*time.Second {
+		t.Fatalf("serial = %v, want 40s", serial)
+	}
+	par := idealDuration(&j, 4)
+	if par != 10*time.Second {
+		t.Fatalf("4-way = %v, want 10s", par)
+	}
+	if idealDuration(&j, 0) != serial {
+		t.Fatal("parallelism < 1 should clamp to 1")
+	}
+}

@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteJSON serializes the trace to w as indented JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("workload: encoding trace: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a trace from r and validates it.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("workload: decoding trace: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	t.Sort()
+	return &t, nil
+}
+
+// SaveFile writes the trace to path, creating or truncating it.
+func (t *Trace) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	defer f.Close()
+	if err := t.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads and validates a trace from path.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

@@ -1,0 +1,190 @@
+package workload
+
+import "time"
+
+// This file defines the statistical tenant profiles used throughout the
+// evaluation. The Company ABC profiles follow Table 1 of the paper:
+//
+//	BI   I/O-intensive SQL queries            (best-effort)
+//	DEV  Mixture of different types of jobs   (best-effort)
+//	APP  Small, lightweight jobs              (deadline, high priority)
+//	STR  Hadoop streaming jobs                (best-effort, map-only)
+//	MV   Long-running, CPU-intensive          (deadline; 2–6 h runs)
+//	ETL  I/O-intensive, periodic but bursty   (deadline; 5–60 min runs)
+//
+// The Facebook and Cloudera profiles follow the SWIM cross-industry
+// characterization [12]: arrival streams dominated by very small jobs with
+// a heavy tail of large ones.
+//
+// Rates are scaled for a laptop-size emulated cluster (tens to hundreds of
+// containers), preserving the contention ratios rather than the absolute
+// job counts of the 700-node production system.
+
+// CompanyABC returns the six-tenant production mix of Table 1. scale
+// multiplies every tenant's arrival rate; 1.0 suits a cluster of roughly
+// 100–200 containers.
+func CompanyABC(scale float64) []TenantProfile {
+	if scale <= 0 {
+		scale = 1
+	}
+	return []TenantProfile{
+		{
+			// BI analysts: I/O-heavy scan queries, many maps, light
+			// reduces, business-hours diurnal pattern.
+			Name:          "BI",
+			JobsPerHour:   14 * scale,
+			Rate:          DiurnalWeekly(0.2, 0.4),
+			NumMaps:       Clamped{D: LognormalFromMean(20, 1.0), Lo: 1, Hi: 400},
+			NumReduces:    Clamped{D: LognormalFromMean(3, 0.8), Lo: 0, Hi: 40},
+			MapSeconds:    Clamped{D: LognormalFromMean(45, 0.9), Lo: 2, Hi: 1800},
+			ReduceSeconds: Clamped{D: LognormalFromMean(90, 0.9), Lo: 2, Hi: 3600},
+		},
+		{
+			// DEV: development runs of everything — a wide mixture.
+			Name:        "DEV",
+			JobsPerHour: 10 * scale,
+			Rate:        DiurnalWeekly(0.15, 0.25),
+			NumMaps: Mixture{
+				Weights:    []float64{0.7, 0.3},
+				Components: []Dist{Clamped{D: LognormalFromMean(5, 0.8), Lo: 1, Hi: 50}, Clamped{D: LognormalFromMean(60, 1.0), Lo: 1, Hi: 600}},
+			},
+			NumReduces: Clamped{D: LognormalFromMean(4, 1.0), Lo: 0, Hi: 60},
+			MapSeconds: Mixture{
+				Weights:    []float64{0.6, 0.4},
+				Components: []Dist{Clamped{D: LognormalFromMean(15, 0.7), Lo: 1, Hi: 600}, Clamped{D: LognormalFromMean(120, 1.1), Lo: 1, Hi: 3600}},
+			},
+			ReduceSeconds: Clamped{D: LognormalFromMean(150, 1.1), Lo: 2, Hi: 5400},
+		},
+		{
+			// APP: the high-priority production application — small,
+			// lightweight, latency-sensitive jobs with deadlines.
+			Name:                "APP",
+			JobsPerHour:         30 * scale,
+			NumMaps:             Clamped{D: LognormalFromMean(4, 0.6), Lo: 1, Hi: 30},
+			NumReduces:          Clamped{D: Constant(1), Lo: 0, Hi: 2},
+			MapSeconds:          Clamped{D: LognormalFromMean(12, 0.6), Lo: 1, Hi: 300},
+			ReduceSeconds:       Clamped{D: LognormalFromMean(20, 0.6), Lo: 1, Hi: 600},
+			DeadlineFactor:      Uniform{Lo: 1.5, Hi: 3},
+			DeadlineParallelism: 8,
+		},
+		{
+			// STR: Hadoop streaming — map-only pipelines.
+			Name:        "STR",
+			JobsPerHour: 8 * scale,
+			Rate:        DiurnalWeekly(0.3, 0.5),
+			NumMaps:     Clamped{D: LognormalFromMean(30, 1.0), Lo: 1, Hi: 500},
+			MapSeconds:  Clamped{D: LognormalFromMean(75, 1.0), Lo: 2, Hi: 3600},
+		},
+		{
+			// MV: materialized views and model building — few, huge,
+			// CPU-bound jobs with long reduce tails and deadlines. The
+			// paper reports 2–6 hour completions.
+			Name:                "MV",
+			JobsPerHour:         1.2 * scale,
+			Rate:                Periodic(6*time.Hour, time.Hour, 0.3, 3.5),
+			NumMaps:             Clamped{D: LognormalFromMean(120, 0.8), Lo: 10, Hi: 1500},
+			NumReduces:          Clamped{D: LognormalFromMean(40, 0.7), Lo: 4, Hi: 300},
+			MapSeconds:          Clamped{D: LognormalFromMean(150, 0.9), Lo: 10, Hi: 3600},
+			ReduceSeconds:       Clamped{D: LognormalFromMean(1500, 0.9), Lo: 60, Hi: 6 * 3600},
+			DeadlineFactor:      Uniform{Lo: 1.3, Hi: 2},
+			DeadlineParallelism: 40,
+		},
+		{
+			// ETL: periodic but bursty ingest with hard deadlines; 5–60
+			// minute completions; weekend dip in input volume.
+			Name:                "ETL",
+			JobsPerHour:         5 * scale,
+			Rate:                combineModulators(Periodic(time.Hour, 15*time.Minute, 0.25, 3), DiurnalWeekly(0.8, 0.45)),
+			NumMaps:             Clamped{D: LognormalFromMean(80, 0.9), Lo: 5, Hi: 1000},
+			NumReduces:          Clamped{D: LognormalFromMean(15, 0.7), Lo: 2, Hi: 120},
+			MapSeconds:          Clamped{D: LognormalFromMean(60, 0.8), Lo: 5, Hi: 1800},
+			ReduceSeconds:       Clamped{D: LognormalFromMean(240, 0.8), Lo: 10, Hi: 3600},
+			DeadlineFactor:      Uniform{Lo: 1.4, Hi: 2.2},
+			DeadlineParallelism: 25,
+		},
+	}
+}
+
+// DeadlineDriven returns a single deadline-driven tenant resembling a blend
+// of ETL and MV workloads; used by the two-tenant end-to-end scenarios
+// (§8.2.1–8.2.3).
+func DeadlineDriven(name string, scale float64) TenantProfile {
+	if scale <= 0 {
+		scale = 1
+	}
+	return TenantProfile{
+		Name:                name,
+		JobsPerHour:         10 * scale,
+		NumMaps:             Clamped{D: LognormalFromMean(25, 0.8), Lo: 2, Hi: 300},
+		NumReduces:          Clamped{D: LognormalFromMean(6, 0.7), Lo: 1, Hi: 50},
+		MapSeconds:          Clamped{D: LognormalFromMean(40, 0.8), Lo: 2, Hi: 1200},
+		ReduceSeconds:       Clamped{D: LognormalFromMean(120, 0.8), Lo: 5, Hi: 2400},
+		DeadlineFactor:      Uniform{Lo: 1.4, Hi: 2.5},
+		DeadlineParallelism: 20,
+	}
+}
+
+// BestEffort returns a best-effort tenant with long-running reduce tasks —
+// the profile the paper identifies as the main preemption victim (§8.2.2,
+// Fig. 8: best-effort reduces are the longest tasks on the cluster).
+func BestEffort(name string, scale float64) TenantProfile {
+	if scale <= 0 {
+		scale = 1
+	}
+	return TenantProfile{
+		Name:          name,
+		JobsPerHour:   14 * scale,
+		NumMaps:       Clamped{D: LognormalFromMean(15, 0.9), Lo: 1, Hi: 200},
+		NumReduces:    Clamped{D: LognormalFromMean(5, 0.8), Lo: 1, Hi: 40},
+		MapSeconds:    Clamped{D: LognormalFromMean(30, 0.9), Lo: 2, Hi: 900},
+		ReduceSeconds: Clamped{D: LognormalFromMean(480, 1.0), Lo: 20, Hi: 4 * 3600},
+	}
+}
+
+// Facebook returns a SWIM-style Facebook-like tenant: a torrent of tiny
+// jobs with a heavy tail.
+func Facebook(name string, scale float64) TenantProfile {
+	if scale <= 0 {
+		scale = 1
+	}
+	return TenantProfile{
+		Name:        name,
+		JobsPerHour: 60 * scale,
+		NumMaps: Mixture{
+			Weights:    []float64{0.85, 0.13, 0.02},
+			Components: []Dist{Clamped{D: LognormalFromMean(3, 0.6), Lo: 1, Hi: 10}, Clamped{D: LognormalFromMean(40, 0.8), Lo: 5, Hi: 200}, Clamped{D: Pareto{Scale: 200, Alpha: 1.5}, Lo: 200, Hi: 2000}},
+		},
+		NumReduces:    Clamped{D: LognormalFromMean(2, 0.9), Lo: 0, Hi: 50},
+		MapSeconds:    Clamped{D: LognormalFromMean(20, 1.0), Lo: 1, Hi: 1200},
+		ReduceSeconds: Clamped{D: LognormalFromMean(45, 1.0), Lo: 1, Hi: 2400},
+	}
+}
+
+// Cloudera returns a SWIM-style Cloudera-customer-like tenant: moderate
+// rate, more medium-size jobs than the Facebook mix.
+func Cloudera(name string, scale float64) TenantProfile {
+	if scale <= 0 {
+		scale = 1
+	}
+	return TenantProfile{
+		Name:        name,
+		JobsPerHour: 25 * scale,
+		NumMaps: Mixture{
+			Weights:    []float64{0.6, 0.4},
+			Components: []Dist{Clamped{D: LognormalFromMean(8, 0.8), Lo: 1, Hi: 60}, Clamped{D: LognormalFromMean(80, 0.9), Lo: 10, Hi: 800}},
+		},
+		NumReduces:    Clamped{D: LognormalFromMean(6, 0.8), Lo: 0, Hi: 80},
+		MapSeconds:    Clamped{D: LognormalFromMean(35, 0.9), Lo: 1, Hi: 1800},
+		ReduceSeconds: Clamped{D: LognormalFromMean(100, 0.9), Lo: 2, Hi: 3600},
+	}
+}
+
+func combineModulators(mods ...Modulator) Modulator {
+	return func(t time.Duration) float64 {
+		m := 1.0
+		for _, f := range mods {
+			m *= f(t)
+		}
+		return m
+	}
+}

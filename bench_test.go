@@ -302,6 +302,63 @@ func BenchmarkGradientEstimatorAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkWhatIfBatch measures the what-if candidate-scoring hot path of
+// one control-loop iteration — the current configuration plus a PALD-sized
+// candidate set scored in one EvaluateBatch — at several worker counts.
+// The QS vectors are bit-identical across all of them (asserted here);
+// only wall-clock time changes.
+func BenchmarkWhatIfBatch(b *testing.B) {
+	trace, err := exp.ABCTrace(2*time.Hour, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	templates := []Template{
+		Template{Queue: "ETL", Metric: DeadlineViolations, Slack: 0.25}.WithTarget(0.05),
+		{Queue: "BI", Metric: AvgResponseTime},
+	}
+	model, err := NewWhatIfFromTrace(templates, trace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One base config plus seven candidates: weight/min-share variations of
+	// the expert configuration, the shape PALD proposes each iteration.
+	base := exp.ExpertABCConfig(exp.ABCCapacity)
+	cfgs := []ClusterConfig{base}
+	for i := 1; i < 8; i++ {
+		cand := base.Clone()
+		etl := cand.Tenants["ETL"]
+		etl.Weight = 1 + 0.5*float64(i)
+		cand.Tenants["ETL"] = etl
+		bi := cand.Tenants["BI"]
+		bi.MaxShare = 8 + 4*i
+		cand.Tenants["BI"] = bi
+		cfgs = append(cfgs, cand)
+	}
+	model.Parallelism = 1
+	want, err := model.EvaluateBatch(cfgs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			model.Parallelism = par
+			for i := 0; i < b.N; i++ {
+				got, err := model.EvaluateBatch(cfgs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for c := range want {
+					for k := range want[c] {
+						if got[c][k] != want[c][k] {
+							b.Fatalf("parallelism %d: row %d differs: %v vs %v", par, c, got[c], want[c])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkWorkloadGeneration measures the synthetic trace generator.
 func BenchmarkWorkloadGeneration(b *testing.B) {
 	profiles := workload.CompanyABC(1)

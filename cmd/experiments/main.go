@@ -59,11 +59,15 @@ func render(r renderable, err error) (string, error) {
 
 func main() {
 	var (
-		only  = flag.String("run", "", "comma-separated experiment names (default: all)")
-		seed  = flag.Int64("seed", 42, "random seed")
-		iters = flag.Int("iters", 0, "control-loop iterations (0 = per-experiment default)")
+		only        = flag.String("run", "", "comma-separated experiment names (default: all)")
+		seed        = flag.Int64("seed", 42, "random seed")
+		iters       = flag.Int("iters", 0, "control-loop iterations (0 = per-experiment default)")
+		parallelism = flag.Int("parallelism", 0, "what-if worker count (0 = one per CPU); results are identical for any value")
 	)
 	flag.Parse()
+	if *parallelism > 0 {
+		exp.Parallelism = *parallelism
+	}
 	selected := map[string]bool{}
 	if *only != "" {
 		for _, n := range strings.Split(*only, ",") {

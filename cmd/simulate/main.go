@@ -6,6 +6,12 @@
 //
 //	simulate -trace trace.json -capacity 80 [-config rm.json] [-noise] [-seed 7]
 //
+// With -compare, simulate instead scores several candidate RM
+// configurations against the trace in one parallel What-if batch and prints
+// a per-config QS table:
+//
+//	simulate -trace trace.json -compare a.json,b.json,c.json [-parallelism 8]
+//
 // When -config is omitted, every tenant runs with equal weight and no
 // limits. The RM configuration file is the JSON form of the library's
 // ClusterConfig:
@@ -26,10 +32,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"tempo/internal/cluster"
 	"tempo/internal/qs"
+	"tempo/internal/whatif"
 	"tempo/internal/workload"
 )
 
@@ -43,12 +51,97 @@ func main() {
 		hours     = flag.Float64("horizon-hours", 0, "cap the run at this many hours (0 = run to completion)")
 		outTasks  = flag.String("out-tasks", "", "write the task schedule as CSV to this file")
 		outJobs   = flag.String("out-jobs", "", "write job outcomes as CSV to this file")
+		compare   = flag.String("compare", "", "comma-separated RM config JSON files to score in one what-if batch")
+		par       = flag.Int("parallelism", 0, "what-if workers for -compare (0 = one per CPU)")
 	)
 	flag.Parse()
+	if *compare != "" {
+		// The what-if batch is a deterministic prediction over the whole
+		// trace: the single-run flags don't apply, and silently ignoring
+		// them would misreport what was scored.
+		var conflicts []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "config", "capacity", "noise", "seed", "out-tasks", "out-jobs":
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			fmt.Fprintf(os.Stderr, "simulate: -compare cannot be combined with %s\n", strings.Join(conflicts, ", "))
+			os.Exit(1)
+		}
+		if err := runCompare(*tracePath, strings.Split(*compare, ","), *hours, *par); err != nil {
+			fmt.Fprintln(os.Stderr, "simulate:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*tracePath, *cfgPath, *capacity, *noise, *seed, *hours, *outTasks, *outJobs); err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare scores every candidate RM configuration against the trace in
+// one What-if batch — the library's parallel candidate-scoring hot path,
+// exposed on the command line.
+func runCompare(tracePath string, cfgPaths []string, hours float64, parallelism int) error {
+	if tracePath == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	trace, err := workload.LoadFile(tracePath)
+	if err != nil {
+		return err
+	}
+	var cfgs []cluster.Config
+	for _, path := range cfgPaths {
+		path = strings.TrimSpace(path)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var cfg cluster.Config
+		if err := json.Unmarshal(raw, &cfg); err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	var templates []qs.Template
+	tenants := trace.Tenants()
+	for _, tn := range tenants {
+		templates = append(templates,
+			qs.Template{Queue: tn, Metric: qs.AvgResponseTime},
+			qs.Template{Queue: tn, Metric: qs.DeadlineViolations, Slack: 0.25})
+	}
+	model, err := whatif.FromTrace(templates, trace)
+	if err != nil {
+		return err
+	}
+	model.Horizon = time.Duration(hours * float64(time.Hour))
+	if parallelism <= 0 {
+		parallelism = whatif.DefaultParallelism()
+	}
+	model.Parallelism = parallelism
+	start := time.Now()
+	rows, err := model.EvaluateBatch(cfgs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scored %d configs x %d tenants in %s (parallelism %d)\n\n",
+		len(cfgs), len(tenants), time.Since(start).Round(time.Millisecond), parallelism)
+	fmt.Printf("%-24s", "config")
+	for _, tn := range tenants {
+		fmt.Printf("  %*s  %*s", len(tn)+7, tn+" AJR(s)", len(tn)+7, tn+" DLviol")
+	}
+	fmt.Println()
+	for i, path := range cfgPaths {
+		fmt.Printf("%-24s", strings.TrimSpace(path))
+		for t, tn := range tenants {
+			fmt.Printf("  %*.1f  %*.3f", len(tn)+7, rows[i][2*t], len(tn)+7, rows[i][2*t+1])
+		}
+		fmt.Println()
+	}
+	return nil
 }
 
 func run(tracePath, cfgPath string, capacity int, noise bool, seed int64, hours float64, outTasks, outJobs string) error {

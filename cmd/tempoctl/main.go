@@ -29,25 +29,29 @@ import (
 
 func main() {
 	var (
-		mix        = flag.String("mix", "ec2", "workload mix: ec2 or two-tenant")
-		capacity   = flag.Int("capacity", 48, "cluster capacity in containers")
-		scale      = flag.Float64("scale", 2.2, "arrival-rate scale")
-		iterations = flag.Int("iterations", 15, "control-loop iterations")
-		interval   = flag.Duration("interval", time.Hour, "control interval L")
-		slack      = flag.Float64("deadline-slack", 0.25, "QS_DL slack γ")
-		dlTarget   = flag.Float64("deadline-target", 0.0, "deadline-violation target r")
-		seed       = flag.Int64("seed", 42, "random seed")
-		candidates = flag.Int("candidates", 5, "candidate configurations per loop")
-		strategy   = flag.String("strategy", "pald", "optimizer: pald, weighted-sum, random")
+		mix         = flag.String("mix", "ec2", "workload mix: ec2 or two-tenant")
+		capacity    = flag.Int("capacity", 48, "cluster capacity in containers")
+		scale       = flag.Float64("scale", 2.2, "arrival-rate scale")
+		iterations  = flag.Int("iterations", 15, "control-loop iterations")
+		interval    = flag.Duration("interval", time.Hour, "control interval L")
+		slack       = flag.Float64("deadline-slack", 0.25, "QS_DL slack γ")
+		dlTarget    = flag.Float64("deadline-target", 0.0, "deadline-violation target r")
+		seed        = flag.Int64("seed", 42, "random seed")
+		candidates  = flag.Int("candidates", 5, "candidate configurations per loop")
+		strategy    = flag.String("strategy", "pald", "optimizer: pald, weighted-sum, random")
+		parallelism = flag.Int("parallelism", 0, "what-if worker count (0 = one per CPU)")
 	)
 	flag.Parse()
-	if err := run(*mix, *capacity, *scale, *iterations, *interval, *slack, *dlTarget, *seed, *candidates, *strategy); err != nil {
+	if *parallelism <= 0 {
+		*parallelism = whatif.DefaultParallelism()
+	}
+	if err := run(*mix, *capacity, *scale, *iterations, *interval, *slack, *dlTarget, *seed, *candidates, *strategy, *parallelism); err != nil {
 		fmt.Fprintln(os.Stderr, "tempoctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mix string, capacity int, scale float64, iterations int, interval time.Duration, slack, dlTarget float64, seed int64, candidates int, strategyName string) error {
+func run(mix string, capacity int, scale float64, iterations int, interval time.Duration, slack, dlTarget float64, seed int64, candidates int, strategyName string, parallelism int) error {
 	var profiles []workload.TenantProfile
 	switch mix {
 	case "ec2":
@@ -72,6 +76,7 @@ func run(mix string, capacity int, scale float64, iterations int, interval time.
 		return err
 	}
 	model.Horizon = interval
+	model.Parallelism = parallelism
 	var strategy pald.Strategy
 	space := cluster.DefaultSpace(capacity, []string{"deadline", "besteffort"})
 	switch strategyName {

@@ -62,6 +62,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		model.Parallelism = tempo.DefaultParallelism()
 		model.Horizon = interval
 		ctl, err := tempo.NewController(tempo.ControllerConfig{
 			Space:       tempo.DefaultSpace(capacity, []string{"deadline", "besteffort"}),

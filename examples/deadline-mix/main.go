@@ -49,6 +49,7 @@ func main() {
 		log.Fatal(err)
 	}
 	model.Horizon = interval
+	model.Parallelism = tempo.DefaultParallelism()
 
 	// The expert baseline: deadline tenant protected, best-effort boxed in.
 	initial := tempo.ClusterConfig{

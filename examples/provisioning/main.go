@@ -92,6 +92,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		model.Parallelism = tempo.DefaultParallelism()
 		est, err := model.Evaluate(sizedConfig(160))
 		if err != nil {
 			log.Fatal(err)

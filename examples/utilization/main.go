@@ -67,6 +67,7 @@ func main() {
 		log.Fatal(err)
 	}
 	model.Horizon = 2 * interval
+	model.Parallelism = tempo.DefaultParallelism()
 	ctl, err := tempo.NewController(tempo.ControllerConfig{
 		Space:       tempo.DefaultSpace(capacity, []string{"deadline", "besteffort"}),
 		Templates:   templates,

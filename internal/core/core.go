@@ -16,9 +16,42 @@ import (
 	"tempo/internal/linalg"
 	"tempo/internal/pald"
 	"tempo/internal/qs"
-	"tempo/internal/whatif"
 	"tempo/internal/workload"
 )
+
+// Model is the what-if interface the control loop drives: predict the QS
+// vector a candidate RM configuration would attain. *whatif.Model is the
+// canonical implementation.
+type Model interface {
+	Evaluate(cfg cluster.Config) ([]float64, error)
+}
+
+// BatchModel is implemented by models that can score many candidate
+// configurations in one call — *whatif.Model fans the batch out over a
+// worker pool. The controller routes all candidate scoring through it when
+// available; plain Model implementations fall back to sequential calls.
+type BatchModel interface {
+	Model
+	EvaluateBatch(cfgs []cluster.Config) ([][]float64, error)
+}
+
+// scoreBatch scores every configuration through the model, using the batch
+// API when the model supports it and a sequential adapter otherwise. Row i
+// corresponds to cfgs[i] in both paths.
+func scoreBatch(m Model, cfgs []cluster.Config) ([][]float64, error) {
+	if bm, ok := m.(BatchModel); ok {
+		return bm.EvaluateBatch(cfgs)
+	}
+	out := make([][]float64, len(cfgs))
+	for i := range cfgs {
+		v, err := m.Evaluate(cfgs[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
 
 // Environment is the live system under management: given an RM
 // configuration, run one control interval and return the observed task
@@ -136,8 +169,10 @@ type Config struct {
 	Space *cluster.Space
 	// Templates are the registered SLOs; their order fixes the QS vector.
 	Templates []qs.Template
-	// Model predicts QS vectors for candidate configurations.
-	Model *whatif.Model
+	// Model predicts QS vectors for candidate configurations, typically a
+	// *whatif.Model. Implementations that also satisfy BatchModel score the
+	// per-iteration candidate set in one (possibly parallel) batch call.
+	Model Model
 	// Strategy proposes candidates; nil builds a default PALD optimizer.
 	Strategy pald.Strategy
 	// Environment is the system under management.
@@ -313,24 +348,28 @@ func (c *Controller) Step() (Iteration, error) {
 		return Iteration{}, err
 	}
 
-	// Propose and score candidates in the What-if Model.
+	// Propose candidates, then score the current configuration and every
+	// candidate in one what-if batch: the evaluations are independent, so a
+	// batch-aware model fans them out across its worker pool.
 	cands, err := c.strategy.Propose(c.currentX, c.normalize(observed), c.cfg.Candidates)
 	if err != nil {
 		return Iteration{}, fmt.Errorf("core: proposing candidates: %w", err)
 	}
-	basePred, err := c.cfg.Model.Evaluate(c.current)
-	if err != nil {
-		return Iteration{}, fmt.Errorf("core: what-if on current config: %w", err)
+	configs := make([]cluster.Config, 0, len(cands)+1)
+	configs = append(configs, c.current)
+	for _, x := range cands {
+		configs = append(configs, c.cfg.Space.Decode(x))
 	}
+	preds, err := scoreBatch(c.cfg.Model, configs)
+	if err != nil {
+		return Iteration{}, fmt.Errorf("core: what-if scoring: %w", err)
+	}
+	basePred := preds[0]
 	bestX := c.currentX
 	bestPred := basePred
 	switched := false
-	for _, x := range cands {
-		cand := c.cfg.Space.Decode(x)
-		pred, err := c.cfg.Model.Evaluate(cand)
-		if err != nil {
-			return Iteration{}, fmt.Errorf("core: what-if on candidate: %w", err)
-		}
+	for i, x := range cands {
+		pred := preds[i+1]
 		// Feed predicted samples to the optimizer too: cheap gradient
 		// information, exactly what Steps (5)-(7) of Figure 3 circulate.
 		if err := c.strategy.Observe(x, c.normalize(pred)); err != nil {

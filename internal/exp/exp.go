@@ -12,6 +12,7 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -19,6 +20,12 @@ import (
 	"tempo/internal/cluster"
 	"tempo/internal/workload"
 )
+
+// Parallelism is the What-if Model worker count every experiment uses;
+// cmd/experiments' -parallelism flag overrides it. QS vectors are
+// bit-identical for any setting, so the reproduced tables and figures do
+// not depend on it — only wall-clock time does.
+var Parallelism = runtime.GOMAXPROCS(0)
 
 // ABCCapacity is the emulated stand-in for Company ABC's production
 // cluster in the component-validation experiments.

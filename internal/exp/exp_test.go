@@ -118,8 +118,9 @@ func TestTable2Shape(t *testing.T) {
 		}
 	}
 	// The paper's predictor did 150k tasks/sec; ours must be at least in
-	// that league.
-	if res.TasksPerSec < 100000 {
+	// that league. Race-detector instrumentation slows the simulator ~2x,
+	// so the floor only applies to uninstrumented builds.
+	if !raceEnabled && res.TasksPerSec < 100000 {
 		t.Errorf("prediction throughput %v tasks/sec, want >= 100k", res.TasksPerSec)
 	}
 	if !strings.Contains(res.Render(), "RAE") {

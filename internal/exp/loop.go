@@ -44,6 +44,7 @@ func buildTwoTenantController(seed int64, slack float64, extra []qs.Template, in
 		return nil, err
 	}
 	model.Horizon = interval // match the observation window exactly
+	model.Parallelism = Parallelism
 	env := &core.ReplayEnvironment{
 		Trace: trace,
 		Noise: cluster.DefaultNoise(seed + 13),
@@ -215,6 +216,7 @@ func Figure9(seed int64, iterations int) (*Figure9Result, error) {
 		return nil, err
 	}
 	model.Horizon = interval
+	model.Parallelism = Parallelism
 	ctl, err := core.NewController(core.Config{
 		Space:       cluster.DefaultSpace(capacity, []string{"deadline", "besteffort"}),
 		Templates:   templates,
@@ -396,6 +398,7 @@ func Figure11(seed int64) (*Figure11Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		model.Parallelism = Parallelism
 		env := &core.TraceEnvironment{Trace: trace, Noise: cluster.DefaultNoise(seed + 11), Seed: seed}
 		ctl, err := core.NewController(core.Config{
 			Space:       cluster.DefaultSpace(capacity, []string{"deadline", "besteffort"}),
@@ -515,6 +518,7 @@ func Figure12(seed int64) (*Figure12Result, error) {
 		}
 		model.Samples = 2
 		model.Horizon = horizon
+		model.Parallelism = Parallelism
 		est, err := model.Evaluate(cfgFor(fullCapacity))
 		if err != nil {
 			return nil, err

@@ -1,0 +1,7 @@
+//go:build !race
+
+package exp
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; performance floors are waived when it does.
+const raceEnabled = false

@@ -1,0 +1,132 @@
+package whatif
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tempo/internal/cluster"
+	"tempo/internal/qs"
+)
+
+// DefaultParallelism returns the worker count that saturates the host: one
+// per available CPU. It is the single source of the "0 means all CPUs"
+// policy the command-line flags and the root package share.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// EvaluateBatch predicts the QS vector for every configuration, each
+// averaged over the model's sample count. The (configuration, sample)
+// pairs are independent, so with Parallelism > 1 they are fanned out over
+// a worker pool; the reduction runs in sample order afterwards, so the
+// returned vectors are bit-identical to sequential evaluation. Row i of
+// the result corresponds to cfgs[i].
+//
+// This is the Optimizer's hot path: one control-loop iteration scores the
+// current configuration plus every PALD candidate in a single batch.
+func (m *Model) EvaluateBatch(cfgs []cluster.Config) ([][]float64, error) {
+	out := make([][]float64, len(cfgs))
+	if len(cfgs) == 0 {
+		return out, nil
+	}
+	samples := m.Samples
+	if samples < 1 {
+		samples = 1
+	}
+	vecs, err := m.evalPairs(cfgs, samples)
+	if err != nil {
+		return nil, err
+	}
+	for c := range cfgs {
+		acc := make([]float64, len(m.Templates))
+		for s := 0; s < samples; s++ {
+			v := vecs[c*samples+s]
+			for i := range acc {
+				acc[i] += v[i]
+			}
+		}
+		for i := range acc {
+			acc[i] /= float64(samples)
+		}
+		out[c] = acc
+	}
+	return out, nil
+}
+
+// evalPairs scores every (configuration, sample) pair and returns the QS
+// vectors indexed by cfg*samples + sample. Errors are aggregated
+// deterministically: the pair with the lowest flat index wins, which is
+// exactly the error sequential evaluation would have returned first.
+func (m *Model) evalPairs(cfgs []cluster.Config, samples int) ([][]float64, error) {
+	predict := m.Predict
+	if predict == nil {
+		predict = DefaultPredictor
+	}
+	total := len(cfgs) * samples
+	vecs := make([][]float64, total)
+	errs := make([]error, total)
+	workers := m.Parallelism
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		for idx := 0; idx < total; idx++ {
+			vecs[idx], errs[idx] = m.evalSample(predict, cfgs[idx/samples], idx%samples)
+			if errs[idx] != nil {
+				break
+			}
+		}
+	} else {
+		// Work-stealing over a shared atomic counter: pairs vary wildly in
+		// cost (candidate configurations change queueing behaviour), so
+		// static striping would leave workers idle. Every pair runs even if
+		// one fails — that keeps the winning error independent of goroutine
+		// timing, and failures are cheap (config validation rejects them
+		// before any simulation work).
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					idx := int(next.Add(1)) - 1
+					if idx >= total {
+						return
+					}
+					vecs[idx], errs[idx] = m.evalSample(predict, cfgs[idx/samples], idx%samples)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for idx, err := range errs {
+		if err != nil {
+			if len(cfgs) > 1 {
+				return nil, fmt.Errorf("whatif: config %d: %w", idx/samples, err)
+			}
+			return nil, fmt.Errorf("whatif: %w", err)
+		}
+	}
+	return vecs, nil
+}
+
+// evalSample scores cfg on one workload sample.
+func (m *Model) evalSample(predict Predictor, cfg cluster.Config, sample int) ([]float64, error) {
+	trace, err := m.Gen(sample)
+	if err != nil {
+		return nil, fmt.Errorf("generating sample %d: %w", sample, err)
+	}
+	if trace == nil {
+		return nil, fmt.Errorf("generating sample %d: generator returned a nil trace", sample)
+	}
+	sched, err := predict(trace, cfg, m.Horizon)
+	if err != nil {
+		return nil, fmt.Errorf("predicting sample %d: %w", sample, err)
+	}
+	if sched == nil {
+		return nil, fmt.Errorf("predicting sample %d: predictor returned a nil schedule", sample)
+	}
+	return qs.EvalAll(m.Templates, sched, 0, sched.Horizon+time.Nanosecond), nil
+}

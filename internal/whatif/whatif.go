@@ -48,6 +48,14 @@ type Model struct {
 	Horizon time.Duration
 	// Predict produces the task schedule; nil uses DefaultPredictor.
 	Predict Predictor
+	// Parallelism caps the worker goroutines Evaluate, EvaluateBatch, and
+	// Sensitivity fan out over (configuration, sample) pairs — the paper's
+	// §7 observation that what-if evaluations are embarrassingly parallel.
+	// Values below 2 evaluate sequentially on the calling goroutine. The
+	// QS vectors are bit-identical for every setting; only wall-clock time
+	// changes. When Parallelism > 1, Gen and Predict must be safe for
+	// concurrent use (the built-in generators and predictor are).
+	Parallelism int
 }
 
 // New returns a model over the given generator.
@@ -82,43 +90,34 @@ func FromProfiles(templates []qs.Template, profiles []workload.TenantProfile, ho
 	gen := func(sample int) (*workload.Trace, error) {
 		return workload.Generate(profiles, workload.GenerateOptions{
 			Horizon: horizon,
-			Seed:    baseSeed + int64(sample)*7919,
+			Seed:    mixSeed(baseSeed, sample),
 			Name:    fmt.Sprintf("whatif-%d", sample),
 		})
 	}
 	return New(templates, gen)
 }
 
+// mixSeed derives the per-sample workload seed from the model's base seed
+// with a splitmix64 finalizer. A plain linear stride (baseSeed + sample*k)
+// lets distinct base seeds alias the same sample trace — base 0 at sample 1
+// equals base k at sample 0 — so two models meant to be independent would
+// silently share workload draws.
+func mixSeed(base int64, sample int) int64 {
+	z := uint64(base) + (uint64(sample)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
 // Evaluate predicts the QS vector under cfg, averaged over the model's
-// sample count.
+// sample count. With Parallelism > 1 the samples are scored concurrently;
+// the result is bit-identical either way.
 func (m *Model) Evaluate(cfg cluster.Config) ([]float64, error) {
-	samples := m.Samples
-	if samples < 1 {
-		samples = 1
+	rows, err := m.EvaluateBatch([]cluster.Config{cfg})
+	if err != nil {
+		return nil, err
 	}
-	acc := make([]float64, len(m.Templates))
-	predict := m.Predict
-	if predict == nil {
-		predict = DefaultPredictor
-	}
-	for s := 0; s < samples; s++ {
-		trace, err := m.Gen(s)
-		if err != nil {
-			return nil, fmt.Errorf("whatif: generating sample %d: %w", s, err)
-		}
-		sched, err := predict(trace, cfg, m.Horizon)
-		if err != nil {
-			return nil, fmt.Errorf("whatif: predicting sample %d: %w", s, err)
-		}
-		v := qs.EvalAll(m.Templates, sched, 0, sched.Horizon+time.Nanosecond)
-		for i := range acc {
-			acc[i] += v[i]
-		}
-	}
-	for i := range acc {
-		acc[i] /= float64(samples)
-	}
-	return acc, nil
+	return rows[0], nil
 }
 
 // Sensitivity evaluates cfg over n independent workload draws and returns
@@ -131,26 +130,17 @@ func (m *Model) Sensitivity(cfg cluster.Config, n int) (mean, stddev []float64, 
 	if n < 2 {
 		return nil, nil, errors.New("whatif: sensitivity needs n >= 2 samples")
 	}
-	predict := m.Predict
-	if predict == nil {
-		predict = DefaultPredictor
+	vecs, err := m.evalPairs([]cluster.Config{cfg}, n)
+	if err != nil {
+		return nil, nil, err
 	}
 	k := len(m.Templates)
 	sum := make([]float64, k)
 	sumSq := make([]float64, k)
 	for s := 0; s < n; s++ {
-		trace, err := m.Gen(s)
-		if err != nil {
-			return nil, nil, fmt.Errorf("whatif: generating sample %d: %w", s, err)
-		}
-		sched, err := predict(trace, cfg, m.Horizon)
-		if err != nil {
-			return nil, nil, fmt.Errorf("whatif: predicting sample %d: %w", s, err)
-		}
-		v := qs.EvalAll(m.Templates, sched, 0, sched.Horizon+time.Nanosecond)
-		for i := range v {
-			sum[i] += v[i]
-			sumSq[i] += v[i] * v[i]
+		for i, x := range vecs[s] {
+			sum[i] += x
+			sumSq[i] += x * x
 		}
 	}
 	mean = make([]float64, k)

@@ -151,9 +151,22 @@ type (
 	Target = pald.Target
 	// Strategy is the optimizer interface the control loop drives.
 	Strategy = pald.Strategy
-	// WhatIfModel predicts QS vectors for candidate configurations.
+	// WhatIfModel predicts QS vectors for candidate configurations. Set its
+	// Parallelism field (e.g. to DefaultParallelism()) to fan what-if
+	// evaluations out over a worker pool; results are bit-identical to
+	// sequential evaluation.
 	WhatIfModel = whatif.Model
+	// Evaluator is the minimal what-if interface a Controller accepts, for
+	// plugging in custom models.
+	Evaluator = core.Model
+	// BatchEvaluator is the batch-aware extension of Evaluator; models that
+	// implement it score each iteration's candidate set in one call.
+	BatchEvaluator = core.BatchModel
 )
+
+// DefaultParallelism returns the what-if worker count that saturates the
+// host: one worker per available CPU.
+func DefaultParallelism() int { return whatif.DefaultParallelism() }
 
 // The control loop.
 type (
@@ -217,7 +230,9 @@ func NewWhatIfFromTrace(templates []Template, trace *Trace) (*WhatIfModel, error
 }
 
 // NewWhatIfFromProfiles builds a What-if Model that synthesizes fresh
-// workloads from statistical tenant profiles.
+// workloads from statistical tenant profiles. Each sample's seed is derived
+// from the base seed with a splitmix64 mix, so distinct base seeds never
+// alias the same sample trace.
 func NewWhatIfFromProfiles(templates []Template, profiles []TenantProfile, horizon time.Duration, seed int64) (*WhatIfModel, error) {
 	return whatif.FromProfiles(templates, profiles, horizon, seed)
 }

@@ -1,0 +1,129 @@
+// Command scenario runs declarative multi-tenant stress scenarios over the
+// cluster emulator and prints (or writes) their canonical reports.
+//
+// Usage:
+//
+//	scenario -spec internal/scenario/testdata/scenarios/flash-crowd.json
+//	scenario -spec spec.json -report out.json     # write the canonical report
+//	scenario -dir internal/scenario/testdata/scenarios   # run a whole matrix
+//	scenario -spec spec.json -parallelism 8       # what-if workers (output identical)
+//
+// A scenario spec composes tenants (statistical profile presets), arrival
+// processes (steady, diurnal, burst, flash crowd, tenant arrival and
+// departure), SLO templates, mid-run capacity changes, and a controller
+// on/off toggle; see internal/scenario and the README for the format. Runs
+// are deterministic: the same spec always produces byte-identical reports,
+// which is what the golden-file regression suite in internal/scenario
+// locks down.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"tempo/internal/scenario"
+	"tempo/internal/whatif"
+)
+
+func main() {
+	var (
+		specPath   = flag.String("spec", "", "scenario spec JSON to run")
+		dir        = flag.String("dir", "", "run every *.json spec in this directory (golden files are skipped)")
+		reportPath = flag.String("report", "", "write the canonical report JSON here (single -spec only)")
+		par        = flag.Int("parallelism", 0, "what-if worker count (0 = one per CPU); reports are identical for any value")
+		quiet      = flag.Bool("quiet", false, "suppress the per-iteration table")
+	)
+	flag.Parse()
+	if (*specPath == "") == (*dir == "") {
+		fmt.Fprintln(os.Stderr, "scenario: exactly one of -spec or -dir is required")
+		os.Exit(2)
+	}
+	if *reportPath != "" && *dir != "" {
+		fmt.Fprintln(os.Stderr, "scenario: -report requires -spec")
+		os.Exit(2)
+	}
+	if *par <= 0 {
+		*par = whatif.DefaultParallelism()
+	}
+	paths := []string{*specPath}
+	if *dir != "" {
+		all, err := filepath.Glob(filepath.Join(*dir, "*.json"))
+		if err != nil {
+			fatal(err)
+		}
+		paths = paths[:0]
+		for _, p := range all {
+			if !strings.HasSuffix(p, ".golden.json") {
+				paths = append(paths, p)
+			}
+		}
+		sort.Strings(paths)
+		if len(paths) == 0 {
+			fatal(fmt.Errorf("no scenario specs in %s", *dir))
+		}
+	}
+	for _, p := range paths {
+		if err := runOne(p, *par, *reportPath, *quiet); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scenario:", err)
+	os.Exit(1)
+}
+
+func runOne(path string, parallelism int, reportPath string, quiet bool) error {
+	spec, err := scenario.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	rep, err := scenario.Run(spec, scenario.Options{Parallelism: parallelism})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	controller := "controller on"
+	if !rep.ControllerEnabled {
+		controller = "controller off"
+	}
+	fmt.Printf("%s: %d tenants, %d containers, %d x %gmin intervals, %s (%s wall)\n",
+		rep.Scenario, len(spec.Tenants), rep.Capacity, len(rep.Iterations), rep.IntervalMinutes,
+		controller, elapsed.Round(time.Millisecond))
+	if !quiet {
+		fmt.Printf("%5s  %4s  %8s  %8s  %9s", "iter", "cap", "switched", "reverted", "preempted")
+		for _, o := range rep.Objectives {
+			fmt.Printf("  %*s", max(10, len(o)), o)
+		}
+		fmt.Println()
+		for _, it := range rep.Iterations {
+			fmt.Printf("%5d  %4d  %8v  %8v  %9d", it.Index, it.Capacity, it.Switched, it.Reverted, it.Preemptions)
+			for i, o := range rep.Objectives {
+				fmt.Printf("  %*.4f", max(10, len(o)), it.Observed[i])
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("summary: %d switches, %d reverts, %d preemptions, %d jobs completed\n",
+		rep.Summary.Switches, rep.Summary.Reverts, rep.Summary.TotalPreemptions, rep.Summary.TotalCompletedJobs)
+	for i, o := range rep.Objectives {
+		fmt.Printf("  %-32s %12.4f -> %12.4f  (%+.1f%%)\n",
+			o, rep.Summary.FirstObserved[i], rep.Summary.LastQuarterMean[i], rep.Summary.Improvement[i]*100)
+	}
+	if reportPath != "" {
+		if err := rep.SaveFile(reportPath); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", reportPath)
+	}
+	fmt.Println()
+	return nil
+}

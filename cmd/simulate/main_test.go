@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tempo/internal/workload"
+)
+
+// TestMain lets the test binary double as the simulate binary: when
+// SIMULATE_RUN_MAIN is set, it runs main() with the process arguments
+// instead of the test suite. Tests re-exec themselves with that variable
+// set to exercise real flag parsing, exit codes, and stderr output.
+func TestMain(m *testing.M) {
+	if os.Getenv("SIMULATE_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI executes the simulate binary (this test binary re-exec'd) with the
+// given arguments.
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, exitCode int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "SIMULATE_RUN_MAIN=1")
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	err := cmd.Run()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return out.String(), errBuf.String(), ee.ExitCode()
+		}
+		t.Fatalf("running CLI: %v", err)
+	}
+	return out.String(), errBuf.String(), 0
+}
+
+// writeTrace generates a small two-tenant trace file for CLI runs.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	profiles := []workload.TenantProfile{
+		workload.DeadlineDriven("etl", 1.5),
+		workload.BestEffort("adhoc", 1.5),
+	}
+	trace, err := workload.Generate(profiles, workload.GenerateOptions{
+		Horizon: 30 * time.Minute, Seed: 3, Name: "cli-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := trace.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareRejectsConflictingFlags(t *testing.T) {
+	trace := writeTrace(t)
+	cases := []struct {
+		name  string
+		extra []string
+		want  []string
+	}{
+		{"noise", []string{"-noise"}, []string{"-noise"}},
+		{"config", []string{"-config", "x.json"}, []string{"-config"}},
+		{"seed and capacity", []string{"-seed", "9", "-capacity", "10"}, []string{"-seed", "-capacity"}},
+		{"out files", []string{"-out-tasks", "a.csv", "-out-jobs", "b.csv"}, []string{"-out-tasks", "-out-jobs"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := append([]string{"-trace", trace, "-compare", "a.json,b.json"}, tc.extra...)
+			_, stderr, code := runCLI(t, args...)
+			if code != 1 {
+				t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, "cannot be combined") {
+				t.Fatalf("stderr %q does not explain the flag conflict", stderr)
+			}
+			for _, flag := range tc.want {
+				if !strings.Contains(stderr, flag) {
+					t.Errorf("stderr %q does not name the conflicting flag %s", stderr, flag)
+				}
+			}
+		})
+	}
+}
+
+func TestCompareRequiresTrace(t *testing.T) {
+	_, stderr, code := runCLI(t, "-compare", "a.json,b.json")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "-trace is required") {
+		t.Fatalf("stderr %q does not mention the missing -trace", stderr)
+	}
+}
+
+func TestCompareScoresConfigs(t *testing.T) {
+	trace := writeTrace(t)
+	dir := t.TempDir()
+	cfgA := filepath.Join(dir, "a.json")
+	cfgB := filepath.Join(dir, "b.json")
+	if err := os.WriteFile(cfgA, []byte(`{"total_containers": 24, "tenants": {"etl": {"weight": 3}, "adhoc": {"weight": 1}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgB, []byte(`{"total_containers": 24, "tenants": {"etl": {"weight": 1}, "adhoc": {"weight": 3}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, code := runCLI(t, "-trace", trace, "-compare", cfgA+","+cfgB, "-parallelism", "2")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "scored 2 configs") {
+		t.Fatalf("stdout missing batch summary:\n%s", stdout)
+	}
+	for _, want := range []string{cfgA, cfgB, "etl AJR(s)", "adhoc AJR(s)"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestSingleRunHappyPath(t *testing.T) {
+	trace := writeTrace(t)
+	stdout, stderr, code := runCLI(t, "-trace", trace, "-capacity", "24")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"schedule{", "tenant", "etl", "adhoc"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+}

@@ -537,8 +537,11 @@ func (s *scheduler) armClock(now time.Duration, ts *tenantState, starved bool, s
 	if !starved {
 		*since = -1
 		if *ev != nil {
+			// Keep the pointer: tenants oscillate between starved and
+			// satisfied on every assignment, and the next re-arm revives
+			// this event in place via Reschedule instead of allocating a
+			// fresh one and leaving a dead entry in the queue.
 			(*ev).Cancel()
-			*ev = nil
 		}
 		return
 	}
@@ -547,14 +550,17 @@ func (s *scheduler) armClock(now time.Duration, ts *tenantState, starved bool, s
 	}
 	if *since < 0 {
 		*since = now
+	} else if *ev != nil && !(*ev).Canceled() {
+		return // already armed for the current starvation window
 	}
-	if *ev == nil {
-		fireAt := *since + timeout
-		*ev = s.engine.At(fireAt, prioPreempt, func(t time.Duration) {
-			*ev = nil
-			s.preemptCheck(t, ts, minLevel)
-		})
+	fireAt := *since + timeout
+	if *ev != nil && s.engine.Reschedule(*ev, fireAt) {
+		return
 	}
+	*ev = s.engine.At(fireAt, prioPreempt, func(t time.Duration) {
+		*ev = nil
+		s.preemptCheck(t, ts, minLevel)
+	})
 }
 
 // preemptCheck fires when a tenant has been continuously starved for its

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"tempo/internal/cluster"
+	"tempo/internal/scenario"
 	"tempo/internal/workload"
 )
 
@@ -40,44 +41,16 @@ const ABCScale = 0.5
 
 // ExpertABCConfig returns the hand-tuned "expert" RM configuration for the
 // six ABC tenants — the baseline every end-to-end experiment starts from.
-// It reflects how DBAs actually configure such clusters: deadline tenants
-// get large weights, min shares, and aggressive preemption; best-effort
-// tenants get leftovers and tight caps.
+// The configuration itself lives in the scenario layer so declarative
+// scenario specs can name it as a preset.
 func ExpertABCConfig(capacity int) cluster.Config {
-	frac := func(f float64) int { return int(f * float64(capacity)) }
-	return cluster.Config{
-		TotalContainers: capacity,
-		Tenants: map[string]cluster.TenantConfig{
-			"BI":  {Weight: 1, MaxShare: frac(0.4)},
-			"DEV": {Weight: 1, MaxShare: frac(0.3)},
-			"APP": {Weight: 2, MinShare: frac(0.1), MinSharePreemptTimeout: 30 * time.Second, SharePreemptTimeout: 3 * time.Minute},
-			"STR": {Weight: 1, MaxShare: frac(0.3)},
-			"MV":  {Weight: 3, MinShare: frac(0.2), MinSharePreemptTimeout: time.Minute, SharePreemptTimeout: 5 * time.Minute},
-			"ETL": {Weight: 3, MinShare: frac(0.15), MinSharePreemptTimeout: 45 * time.Second, SharePreemptTimeout: 4 * time.Minute},
-		},
-	}
+	return scenario.ExpertABCConfig(capacity)
 }
 
 // ExpertTwoTenantConfig is the skewed expert baseline of the two-tenant
-// end-to-end scenarios: the deadline tenant is over-provisioned with
-// aggressive preemption; the best-effort tenant is capped hard.
+// end-to-end scenarios (scenario preset "expert-two-tenant").
 func ExpertTwoTenantConfig(capacity int) cluster.Config {
-	return cluster.Config{
-		TotalContainers: capacity,
-		Tenants: map[string]cluster.TenantConfig{
-			"deadline": {
-				Weight:                 2,
-				MinShare:               capacity / 4,
-				MaxShare:               capacity,
-				MinSharePreemptTimeout: time.Minute,
-				SharePreemptTimeout:    5 * time.Minute,
-			},
-			"besteffort": {
-				Weight:   0.4,
-				MaxShare: capacity/5 + 1,
-			},
-		},
-	}
+	return scenario.ExpertTwoTenantConfig(capacity)
 }
 
 // TwoTenantProfiles returns the deadline-driven + best-effort pair used by

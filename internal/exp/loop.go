@@ -8,6 +8,7 @@ import (
 	"tempo/internal/core"
 	"tempo/internal/pald"
 	"tempo/internal/qs"
+	"tempo/internal/scenario"
 	"tempo/internal/whatif"
 	"tempo/internal/workload"
 )
@@ -20,48 +21,30 @@ const (
 	loopScale    = 2.2
 )
 
-// buildTwoTenantController wires the §8.2 scenario: a deadline tenant with
-// a hard QS_DL constraint and a best-effort tenant whose QS_AJR the loop
-// ratchets, with optional extra templates (Figure 9 adds utilization).
-// Following the paper's protocol, one fixed workload trace is replayed each
-// control interval (with fresh noise), and the What-if Model replays the
-// same trace, so prediction and observation differ only by the noise model.
+// buildTwoTenantController wires the §8.2 scenario through the declarative
+// scenario layer: TwoTenantSpec describes the tenants, SLOs, replay
+// protocol, and expert starting point; scenario.Build materializes the
+// controller. The derived seeds match the pre-scenario bespoke wiring, so
+// the experiment trajectories are unchanged. Optional extra templates
+// (Figure 9 adds utilization) and a strategy override hook in through
+// scenario.Options.
 func buildTwoTenantController(seed int64, slack float64, extra []qs.Template, interval time.Duration, strategy pald.Strategy, revert core.RevertPolicy) (*core.Controller, error) {
-	profiles := EC2TwoTenantProfiles(loopScale)
-	capacity := loopCapacity
-	trace, err := workload.Generate(profiles, workload.GenerateOptions{
-		Horizon: interval, Seed: seed + 977, Name: "loop-replay",
+	spec := TwoTenantSpec(seed, slack, interval, 1)
+	switch revert {
+	case core.RevertOnNonDominance:
+		spec.Controller.Revert = "non-dominance"
+	case core.RevertOff:
+		spec.Controller.Revert = "off"
+	}
+	rt, err := scenario.Build(spec, scenario.Options{
+		Strategy:       strategy,
+		Parallelism:    Parallelism,
+		ExtraTemplates: extra,
 	})
 	if err != nil {
 		return nil, err
 	}
-	templates := append([]qs.Template{
-		qs.Template{Queue: "deadline", Metric: qs.DeadlineViolations, Slack: slack}.WithTarget(0.0),
-		{Queue: "besteffort", Metric: qs.AvgResponseTime},
-	}, extra...)
-	model, err := whatif.FromTrace(templates, trace)
-	if err != nil {
-		return nil, err
-	}
-	model.Horizon = interval // match the observation window exactly
-	model.Parallelism = Parallelism
-	env := &core.ReplayEnvironment{
-		Trace: trace,
-		Noise: cluster.DefaultNoise(seed + 13),
-		Seed:  seed,
-	}
-	cfg := core.Config{
-		Space:       cluster.DefaultSpace(capacity, []string{"deadline", "besteffort"}),
-		Templates:   templates,
-		Model:       model,
-		Environment: env,
-		Interval:    interval,
-		Candidates:  5,
-		Strategy:    strategy,
-		Revert:      revert,
-		PALD:        pald.Options{Seed: seed + 29, MaxStep: 0.2},
-	}
-	return core.NewController(cfg, ExpertTwoTenantConfig(capacity))
+	return rt.Controller, nil
 }
 
 // Figure6Series is one slack setting's trajectory.
@@ -161,20 +144,9 @@ func fig9Profiles() []workload.TenantProfile {
 
 // fig9Expert is the badly tuned expert configuration: hair-trigger
 // preemption timeouts for the deadline tenant, which shred the best-effort
-// tenant's long reduces.
+// tenant's long reduces (scenario preset "hair-trigger").
 func fig9Expert(capacity int) cluster.Config {
-	return cluster.Config{
-		TotalContainers: capacity,
-		Tenants: map[string]cluster.TenantConfig{
-			"deadline": {
-				Weight:                 2,
-				MinShare:               capacity / 2,
-				MinSharePreemptTimeout: 15 * time.Second,
-				SharePreemptTimeout:    45 * time.Second,
-			},
-			"besteffort": {Weight: 1},
-		},
-	}
+	return scenario.HairTriggerConfig(capacity)
 }
 
 // Figure9 is the utilization scenario (§8.2.2): the preemption-prone mix

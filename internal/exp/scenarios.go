@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"time"
+
+	"tempo/internal/scenario"
+)
+
+// This file re-expresses the end-to-end experiment setups (§8.2) as
+// declarative scenario specs. The control-loop experiments (Figure 6, the
+// strategy and guard ablations) build their controllers through
+// scenario.Build rather than bespoke wiring; the specs double as the seed
+// content of the scenario regression suite.
+
+// TwoTenantSpec is the §8.2.1 convergence scenario: a Cloudera-like
+// deadline tenant with a hard QS_DL constraint plus a Facebook-like
+// best-effort tenant whose QS_AJR the loop ratchets, replaying one fixed
+// workload trace each control interval with fresh noise, starting from the
+// skewed expert configuration.
+func TwoTenantSpec(seed int64, slack float64, interval time.Duration, iterations int) *scenario.Spec {
+	target := 0.0
+	return &scenario.Spec{
+		Name:            "two-tenant-replay",
+		Description:     "§8.2.1 convergence: deadline SLO constrained, best-effort AJR ratcheted, fixed trace replayed with fresh noise",
+		Seed:            seed,
+		Capacity:        loopCapacity,
+		IntervalMinutes: interval.Minutes(),
+		Iterations:      iterations,
+		Replay:          true,
+		Noise:           &scenario.NoiseSpec{},
+		Tenants: []scenario.TenantSpec{
+			{
+				Name:     "deadline",
+				Profile:  "cloudera",
+				Scale:    loopScale,
+				Deadline: &scenario.DeadlineSpec{FactorLo: 1.1, FactorHi: 1.8, Parallelism: 16},
+			},
+			{Name: "besteffort", Profile: "facebook", Scale: loopScale},
+		},
+		SLOs: []scenario.SLOSpec{
+			{Queue: "deadline", Metric: "deadline_violations", Slack: slack, Target: &target},
+			{Queue: "besteffort", Metric: "avg_response_time"},
+		},
+		Initial:    scenario.InitialSpec{Preset: "expert-two-tenant"},
+		Controller: scenario.ControllerSpec{Candidates: 5, MaxStep: 0.2},
+	}
+}

@@ -1,0 +1,234 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"tempo/internal/cluster"
+	"tempo/internal/core"
+	"tempo/internal/pald"
+	"tempo/internal/qs"
+	"tempo/internal/whatif"
+	"tempo/internal/workload"
+)
+
+// Derived-seed offsets. Every random stream in a scenario run is a fixed
+// function of Spec.Seed; these offsets match the wiring the §8.2
+// experiments used before they were re-expressed as scenarios, so the
+// experiment trajectories are bit-identical across the refactor.
+const (
+	seedTrace        = 977 // workload trace synthesis
+	seedReplayNoise  = 13  // emulation noise, replay protocol
+	seedWindowNoise  = 11  // emulation noise, windowed protocol
+	seedPALD         = 29  // optimizer exploration
+	seedWhatIfSample = 101 // per-sample what-if draws, windowed protocol
+)
+
+// Options are runtime knobs that do not change a scenario's trajectory.
+type Options struct {
+	// Parallelism caps the What-if Model's worker pool; 0 means one worker
+	// per CPU. Reports are bit-identical for every setting.
+	Parallelism int
+	// Strategy overrides the optimizer (nil builds the default PALD
+	// optimizer). Used by the experiment harness's strategy ablations.
+	Strategy pald.Strategy
+	// ExtraTemplates are appended to the spec's SLOs — the hook the
+	// experiment harness uses to bolt ablation-specific objectives onto a
+	// declarative scenario.
+	ExtraTemplates []qs.Template
+}
+
+// Runtime is a built scenario, ready to run: the materialized workload,
+// templates, environment, and (unless disabled) the controller.
+type Runtime struct {
+	Spec      *Spec
+	Interval  time.Duration
+	Templates []qs.Template
+	Profiles  []workload.TenantProfile
+	// Trace is the generated workload: one control interval in replay mode,
+	// the full horizon in windowed mode.
+	Trace *workload.Trace
+	// Initial is the RM configuration the run starts from.
+	Initial cluster.Config
+	// Controller is nil when the spec disables the control loop.
+	Controller *core.Controller
+
+	env *runEnv
+}
+
+// Build materializes a validated spec into a runnable scenario.
+func Build(spec *Spec, opts Options) (*Runtime, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	interval := spec.Interval()
+	profiles := make([]workload.TenantProfile, 0, len(spec.Tenants))
+	for i := range spec.Tenants {
+		p, err := spec.Tenants[i].Materialize()
+		if err != nil {
+			return nil, err
+		}
+		profiles = append(profiles, p)
+	}
+	templates := make([]qs.Template, 0, len(spec.SLOs)+len(opts.ExtraTemplates))
+	for i := range spec.SLOs {
+		t, err := spec.SLOs[i].Template()
+		if err != nil {
+			return nil, err
+		}
+		templates = append(templates, t)
+	}
+	templates = append(templates, opts.ExtraTemplates...)
+
+	horizon := spec.Horizon()
+	if spec.Replay {
+		horizon = interval
+	}
+	trace, err := workload.Generate(profiles, workload.GenerateOptions{
+		Horizon: horizon,
+		Seed:    spec.Seed + seedTrace,
+		Name:    spec.Name,
+	})
+	if err != nil {
+		return nil, err
+	}
+	initial, err := spec.Initial.Config(spec.Capacity, spec.TenantNames())
+	if err != nil {
+		return nil, err
+	}
+
+	var inner core.Environment
+	if spec.Replay {
+		inner = &core.ReplayEnvironment{
+			Trace: trace,
+			Noise: spec.noiseModel(spec.Seed + seedReplayNoise),
+			Seed:  spec.Seed,
+		}
+	} else {
+		inner = &core.TraceEnvironment{
+			Trace: trace,
+			Noise: spec.noiseModel(spec.Seed + seedWindowNoise),
+			Seed:  spec.Seed,
+		}
+	}
+	env := &runEnv{inner: inner, changes: spec.CapacityChanges}
+	rt := &Runtime{
+		Spec:      spec,
+		Interval:  interval,
+		Templates: templates,
+		Profiles:  profiles,
+		Trace:     trace,
+		Initial:   initial,
+		env:       env,
+	}
+	if spec.Controller.Disabled {
+		return rt, nil
+	}
+
+	var model *whatif.Model
+	if spec.Replay {
+		model, err = whatif.FromTrace(templates, trace)
+		if err != nil {
+			return nil, err
+		}
+		model.Horizon = interval // match the observation window exactly
+	} else {
+		model, err = whatif.FromProfiles(templates, profiles, interval, spec.Seed+seedWhatIfSample)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Controller.WhatIfSamples > 0 {
+			model.Samples = spec.Controller.WhatIfSamples
+		}
+	}
+	if opts.Parallelism > 0 {
+		model.Parallelism = opts.Parallelism
+	} else {
+		model.Parallelism = whatif.DefaultParallelism()
+	}
+
+	maxStep := spec.Controller.MaxStep
+	if maxStep == 0 {
+		maxStep = 0.2
+	}
+	var revert core.RevertPolicy
+	switch spec.Controller.Revert {
+	case "", "on-worse":
+		revert = core.RevertOnWorse
+	case "non-dominance":
+		revert = core.RevertOnNonDominance
+	case "off":
+		revert = core.RevertOff
+	default:
+		return nil, fmt.Errorf("scenario %s: unknown revert policy %q", spec.Name, spec.Controller.Revert)
+	}
+	ctl, err := core.NewController(core.Config{
+		Space:       cluster.DefaultSpace(spec.Capacity, spec.TenantNames()),
+		Templates:   templates,
+		Model:       model,
+		Environment: env,
+		Interval:    interval,
+		Candidates:  spec.Controller.Candidates,
+		Strategy:    opts.Strategy,
+		Revert:      revert,
+		PALD:        pald.Options{Seed: spec.Seed + seedPALD, MaxStep: maxStep},
+	}, initial)
+	if err != nil {
+		return nil, err
+	}
+	rt.Controller = ctl
+	return rt, nil
+}
+
+// noiseModel materializes the noise spec with the given stream seed, or nil
+// for a deterministic run.
+func (s *Spec) noiseModel(seed int64) *cluster.NoiseModel {
+	if s.Noise == nil {
+		return nil
+	}
+	n := cluster.DefaultNoise(seed)
+	if s.Noise.DurationSigma != nil {
+		n.DurationSigma = *s.Noise.DurationSigma
+	}
+	if s.Noise.FailureProb != nil {
+		n.FailureProb = *s.Noise.FailureProb
+	}
+	if s.Noise.JobKillProb != nil {
+		n.JobKillProb = *s.Noise.JobKillProb
+	}
+	return n
+}
+
+// runEnv wraps the inner environment to apply mid-run capacity changes and
+// record every observed schedule for the report.
+type runEnv struct {
+	inner     core.Environment
+	changes   []CapacityChange
+	schedules []*cluster.Schedule
+}
+
+// capacityAt returns the effective cluster capacity at the iteration, or 0
+// when no change applies.
+func (e *runEnv) capacityAt(iteration int) int {
+	capacity := 0
+	for _, cc := range e.changes {
+		if cc.AtIteration <= iteration {
+			capacity = cc.Capacity
+		}
+	}
+	return capacity
+}
+
+// Observe implements core.Environment.
+func (e *runEnv) Observe(cfg cluster.Config, interval time.Duration, iteration int) (*cluster.Schedule, error) {
+	if c := e.capacityAt(iteration); c > 0 && c != cfg.TotalContainers {
+		cfg = cfg.Clone()
+		cfg.TotalContainers = c
+	}
+	sched, err := e.inner.Observe(cfg, interval, iteration)
+	if err != nil {
+		return nil, err
+	}
+	e.schedules = append(e.schedules, sched)
+	return sched, nil
+}

@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"time"
+
+	"tempo/internal/cluster"
+)
+
+// This file holds the hand-tuned "expert" RM configurations scenarios (and
+// the experiment harness, which delegates here) start from. They reflect
+// how DBAs actually configure such clusters: deadline tenants get large
+// weights, min shares, and aggressive preemption; best-effort tenants get
+// leftovers and tight caps.
+
+// ExpertABCConfig returns the expert configuration for the six Company ABC
+// tenants of Table 1 — the baseline of the component-validation
+// experiments.
+func ExpertABCConfig(capacity int) cluster.Config {
+	frac := func(f float64) int { return int(f * float64(capacity)) }
+	return cluster.Config{
+		TotalContainers: capacity,
+		Tenants: map[string]cluster.TenantConfig{
+			"BI":  {Weight: 1, MaxShare: frac(0.4)},
+			"DEV": {Weight: 1, MaxShare: frac(0.3)},
+			"APP": {Weight: 2, MinShare: frac(0.1), MinSharePreemptTimeout: 30 * time.Second, SharePreemptTimeout: 3 * time.Minute},
+			"STR": {Weight: 1, MaxShare: frac(0.3)},
+			"MV":  {Weight: 3, MinShare: frac(0.2), MinSharePreemptTimeout: time.Minute, SharePreemptTimeout: 5 * time.Minute},
+			"ETL": {Weight: 3, MinShare: frac(0.15), MinSharePreemptTimeout: 45 * time.Second, SharePreemptTimeout: 4 * time.Minute},
+		},
+	}
+}
+
+// ExpertTwoTenantConfig is the skewed expert baseline of the two-tenant
+// end-to-end scenarios (§8.2): the deadline tenant is over-provisioned with
+// aggressive preemption; the best-effort tenant is capped hard.
+func ExpertTwoTenantConfig(capacity int) cluster.Config {
+	return cluster.Config{
+		TotalContainers: capacity,
+		Tenants: map[string]cluster.TenantConfig{
+			"deadline": {
+				Weight:                 2,
+				MinShare:               capacity / 4,
+				MaxShare:               capacity,
+				MinSharePreemptTimeout: time.Minute,
+				SharePreemptTimeout:    5 * time.Minute,
+			},
+			"besteffort": {
+				Weight:   0.4,
+				MaxShare: capacity/5 + 1,
+			},
+		},
+	}
+}
+
+// HairTriggerConfig is the badly tuned §8.2.2 expert configuration:
+// hair-trigger preemption timeouts for the deadline tenant, which shred any
+// long-running best-effort work — the adversarial starting point of the
+// preemption-waste scenarios.
+func HairTriggerConfig(capacity int) cluster.Config {
+	return cluster.Config{
+		TotalContainers: capacity,
+		Tenants: map[string]cluster.TenantConfig{
+			"deadline": {
+				Weight:                 2,
+				MinShare:               capacity / 2,
+				MinSharePreemptTimeout: 15 * time.Second,
+				SharePreemptTimeout:    45 * time.Second,
+			},
+			"besteffort": {Weight: 1},
+		},
+	}
+}

@@ -1,0 +1,146 @@
+package scenario_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tempo/internal/scenario"
+)
+
+// update rewrites the golden reports instead of comparing against them:
+//
+//	go test ./internal/scenario -run TestGoldenScenarios -update
+//
+// Inspect the diff before committing: every changed line is a behavioural
+// change in the scheduler, the workload generator, or the control loop.
+var update = flag.Bool("update", false, "rewrite golden scenario reports")
+
+// specPaths returns every committed scenario spec.
+func specPaths(t *testing.T) []string {
+	t.Helper()
+	all, err := filepath.Glob(filepath.Join("testdata", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []string
+	for _, p := range all {
+		if !strings.HasSuffix(p, ".golden.json") {
+			specs = append(specs, p)
+		}
+	}
+	if len(specs) < 10 {
+		t.Fatalf("found %d scenario specs, want >= 10 — the regression matrix must not shrink", len(specs))
+	}
+	return specs
+}
+
+func goldenPath(specPath string) string {
+	return strings.TrimSuffix(specPath, ".json") + ".golden.json"
+}
+
+// TestGoldenScenarios runs every committed scenario and compares its
+// canonical report byte-for-byte against the committed golden file.
+func TestGoldenScenarios(t *testing.T) {
+	for _, path := range specPaths(t) {
+		path := path
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := scenario.LoadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spec.Name != name {
+				t.Fatalf("spec name %q does not match file name %q", spec.Name, name)
+			}
+			rep, err := scenario.Run(spec, scenario.Options{Parallelism: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rep.MarshalCanonical()
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := goldenPath(path)
+			if *update {
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden report (generate with `go test ./internal/scenario -run TestGoldenScenarios -update`): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("report drifted from %s:\n%s\nIf the change is intended, regenerate with -update and commit the diff.",
+					golden, firstDiff(got, want))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first differing line for a readable failure.
+func firstDiff(got, want []byte) string {
+	g := strings.Split(string(got), "\n")
+	w := strings.Split(string(want), "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return fmt.Sprintf("line %d:\n  got:  %s\n  want: %s", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: got %d lines, want %d lines", len(g), len(w))
+}
+
+// TestRunBitReproducibleAcrossParallelism asserts the acceptance criterion:
+// the report bytes are identical for any what-if parallelism setting,
+// including fully sequential evaluation.
+func TestRunBitReproducibleAcrossParallelism(t *testing.T) {
+	for _, name := range []string{"steady-two-tenant", "capacity-loss", "diurnal-drift"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			path := filepath.Join("testdata", "scenarios", name+".json")
+			var baseline []byte
+			for _, par := range []int{1, 3, 8} {
+				spec, err := scenario.LoadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := scenario.Run(spec, scenario.Options{Parallelism: par})
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := rep.MarshalCanonical()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if baseline == nil {
+					baseline = b
+				} else if !bytes.Equal(baseline, b) {
+					t.Fatalf("parallelism %d produced different report bytes:\n%s", par, firstDiff(b, baseline))
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenFilesHaveSpecs catches orphaned goldens whose spec was renamed
+// or deleted.
+func TestGoldenFilesHaveSpecs(t *testing.T) {
+	goldens, err := filepath.Glob(filepath.Join("testdata", "scenarios", "*.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range goldens {
+		spec := strings.TrimSuffix(g, ".golden.json") + ".json"
+		if _, err := os.Stat(spec); err != nil {
+			t.Errorf("golden %s has no matching spec %s", g, spec)
+		}
+	}
+}

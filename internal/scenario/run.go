@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"time"
+
+	"tempo/internal/cluster"
+	"tempo/internal/qs"
+)
+
+// Run builds the spec and drives it to completion. The report is a pure
+// function of the spec: every random stream is derived from Spec.Seed, the
+// What-if Model's reduction is parallelism-independent, and the report's
+// serialization is canonical, so the same spec always yields the same
+// bytes.
+func Run(spec *Spec, opts Options) (*Report, error) {
+	rt, err := Build(spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	return rt.Run()
+}
+
+// Run drives the built scenario for the spec's iteration count and
+// assembles the canonical report.
+func (rt *Runtime) Run() (*Report, error) {
+	spec := rt.Spec
+	rep := &Report{
+		Scenario:          spec.Name,
+		Seed:              spec.Seed,
+		Capacity:          spec.Capacity,
+		IntervalMinutes:   spec.IntervalMinutes,
+		Replay:            spec.Replay,
+		ControllerEnabled: rt.Controller != nil,
+	}
+	for _, t := range rt.Templates {
+		rep.Objectives = append(rep.Objectives, t.Name())
+	}
+	for i := 0; i < spec.Iterations; i++ {
+		it := IterationReport{Index: i}
+		if rt.Controller != nil {
+			step, err := rt.Controller.Step()
+			if err != nil {
+				return nil, err
+			}
+			it.Observed = step.Observed
+			it.Switched = step.Switched
+			it.Reverted = step.Reverted
+		} else {
+			sched, err := rt.env.Observe(rt.Initial, rt.Interval, i)
+			if err != nil {
+				return nil, err
+			}
+			it.Observed = qs.EvalAll(rt.Templates, sched, 0, sched.Horizon+time.Nanosecond)
+		}
+		fillScheduleStats(&it, rt.env.schedules[i])
+		rep.Iterations = append(rep.Iterations, it)
+	}
+	rep.Summary = summarize(rep, rt)
+	return rep, nil
+}
+
+// fillScheduleStats derives the iteration's job and container statistics
+// from the observed task schedule.
+func fillScheduleStats(it *IterationReport, s *cluster.Schedule) {
+	it.Capacity = s.Capacity
+	it.SubmittedJobs = len(s.Jobs)
+	for i := range s.Jobs {
+		j := &s.Jobs[i]
+		if j.Completed {
+			it.CompletedJobs++
+		}
+		if j.Killed {
+			it.KilledJobs++
+		}
+		if j.Deadline > 0 {
+			it.DeadlineJobs++
+			if j.Completed && j.Finish > j.Deadline {
+				it.DeadlineMisses++
+			}
+		}
+	}
+	it.Preemptions = s.PreemptionCount("", nil)
+	useful, wasted := s.ContainerSeconds()
+	it.UsefulContainerSeconds = useful.Seconds()
+	it.WastedContainerSeconds = wasted.Seconds()
+}
+
+// summarize aggregates the per-iteration reports and captures the final RM
+// configuration.
+func summarize(rep *Report, rt *Runtime) Summary {
+	sum := Summary{}
+	n := len(rep.Iterations)
+	if n == 0 {
+		return sum
+	}
+	for i := range rep.Iterations {
+		it := &rep.Iterations[i]
+		if it.Switched {
+			sum.Switches++
+		}
+		if it.Reverted {
+			sum.Reverts++
+		}
+		sum.TotalPreemptions += it.Preemptions
+		sum.TotalCompletedJobs += it.CompletedJobs
+	}
+	k := len(rep.Objectives)
+	sum.FirstObserved = append([]float64(nil), rep.Iterations[0].Observed...)
+	sum.LastQuarterMean = make([]float64, k)
+	sum.Improvement = make([]float64, k)
+	tail := rep.Iterations[(3*n)/4:]
+	for _, it := range tail {
+		for i := 0; i < k && i < len(it.Observed); i++ {
+			sum.LastQuarterMean[i] += it.Observed[i]
+		}
+	}
+	for i := 0; i < k; i++ {
+		sum.LastQuarterMean[i] /= float64(len(tail))
+		first := sum.FirstObserved[i]
+		if first > 1e-12 || first < -1e-12 {
+			imp := (first - sum.LastQuarterMean[i]) / first
+			if first < 0 {
+				imp = -imp
+			}
+			sum.Improvement[i] = imp
+		}
+	}
+	final := rt.Initial
+	if rt.Controller != nil {
+		final = rt.Controller.Current()
+	}
+	for _, name := range rt.Spec.TenantNames() {
+		tc := final.Tenant(name)
+		sum.FinalConfig = append(sum.FinalConfig, TenantConfigReport{
+			Tenant:                 name,
+			Weight:                 tc.Weight,
+			MinShare:               tc.MinShare,
+			MaxShare:               tc.MaxShare,
+			SharePreemptSeconds:    tc.SharePreemptTimeout.Seconds(),
+			MinSharePreemptSeconds: tc.MinSharePreemptTimeout.Seconds(),
+		})
+	}
+	return sum
+}

@@ -78,6 +78,28 @@ func (e *Engine) After(d time.Duration, priority int, fn func(now time.Duration)
 	return e.At(e.now+d, priority, fn)
 }
 
+// Reschedule moves a still-pending event to fire at time t (clamped to
+// Now, like At) and clears its canceled mark, so a canceled-but-unpopped
+// event can be revived in place. The event is assigned a fresh sequence
+// number, making the result indistinguishable from Cancel followed by a new
+// At — but in O(log n) via heap.Fix and without allocating or leaving a
+// dead entry in the queue. It reports whether the event was still pending;
+// an event that already fired or was discarded cannot be rescheduled.
+func (e *Engine) Reschedule(ev *Event, t time.Duration) bool {
+	if ev == nil || ev.index < 0 || ev.index >= len(e.queue) || e.queue[ev.index] != ev {
+		return false
+	}
+	if t < e.now {
+		t = e.now
+	}
+	ev.Time = t
+	ev.canceled = false
+	ev.seq = e.seq
+	e.seq++
+	heap.Fix(&e.queue, ev.index)
+	return true
+}
+
 // Step dispatches the next pending event, skipping canceled ones, and
 // reports whether an event was dispatched.
 func (e *Engine) Step() bool {
@@ -163,6 +185,7 @@ func (q *eventQueue) Pop() any {
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
+	ev.index = -1 // no longer in the heap: rejects late Reschedule calls
 	*q = old[:n-1]
 	return ev
 }

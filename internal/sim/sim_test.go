@@ -230,6 +230,145 @@ func TestPropertyCancelComplement(t *testing.T) {
 	}
 }
 
+func TestRescheduleMovesEvent(t *testing.T) {
+	var e Engine
+	var at time.Duration = -1
+	ev := e.At(5, 0, func(now time.Duration) { at = now })
+	if !e.Reschedule(ev, 12) {
+		t.Fatal("Reschedule on pending event returned false")
+	}
+	e.Run()
+	if at != 12 {
+		t.Fatalf("rescheduled event fired at %v, want 12", at)
+	}
+}
+
+func TestRescheduleRevivesCanceledEvent(t *testing.T) {
+	var e Engine
+	fired := 0
+	ev := e.At(5, 0, func(time.Duration) { fired++ })
+	ev.Cancel()
+	if !e.Reschedule(ev, 7) {
+		t.Fatal("Reschedule on canceled-but-unpopped event returned false")
+	}
+	if ev.Canceled() {
+		t.Fatal("Reschedule did not clear the canceled mark")
+	}
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("revived event fired %d times, want 1", fired)
+	}
+}
+
+func TestRescheduleRejectsFiredEvent(t *testing.T) {
+	var e Engine
+	ev := e.At(1, 0, func(time.Duration) {})
+	e.Run()
+	if e.Reschedule(ev, 5) {
+		t.Fatal("Reschedule on already-fired event returned true")
+	}
+	if e.Len() != 0 {
+		t.Fatalf("Len() = %d after rejected reschedule, want 0", e.Len())
+	}
+}
+
+func TestRescheduleRejectsPoppedCanceledEvent(t *testing.T) {
+	var e Engine
+	ev := e.At(1, 0, func(time.Duration) {})
+	ev.Cancel()
+	e.At(2, 0, func(time.Duration) {})
+	e.Run() // pops and discards the canceled event
+	if e.Reschedule(ev, 5) {
+		t.Fatal("Reschedule on discarded event returned true")
+	}
+}
+
+func TestRescheduleClampsToNow(t *testing.T) {
+	var e Engine
+	var at time.Duration = -1
+	var ev *Event
+	ev = e.At(20, 0, func(now time.Duration) { at = now })
+	e.At(10, 0, func(now time.Duration) {
+		e.Reschedule(ev, 3) // in the past: clamps to now
+	})
+	e.Run()
+	if at != 10 {
+		t.Fatalf("past-rescheduled event fired at %v, want clamped to 10", at)
+	}
+}
+
+// Reschedule assigns a fresh sequence number, so a rescheduled event
+// tie-breaks exactly like Cancel followed by a new At would: later than
+// everything scheduled before the reschedule, earlier than everything after.
+func TestRescheduleTieBreaksLikeFreshEvent(t *testing.T) {
+	var e Engine
+	var order []string
+	evA := e.At(1, 0, func(time.Duration) { order = append(order, "a") })
+	e.At(10, 0, func(time.Duration) { order = append(order, "b") })
+	e.Reschedule(evA, 10)
+	e.At(10, 0, func(time.Duration) { order = append(order, "c") })
+	e.Run()
+	want := []string{"b", "a", "c"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// Property: a random mix of cancels and reschedules fires each live event
+// exactly once, at its final time.
+func TestPropertyRescheduleFiresOnceAtFinalTime(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var e Engine
+		count := int(n%24) + 1
+		fired := make([]int, count)
+		finalAt := make([]time.Duration, count)
+		firedAt := make([]time.Duration, count)
+		events := make([]*Event, count)
+		for i := 0; i < count; i++ {
+			i := i
+			finalAt[i] = time.Duration(rng.Intn(30))
+			events[i] = e.At(finalAt[i], 0, func(now time.Duration) {
+				fired[i]++
+				firedAt[i] = now
+			})
+		}
+		live := make([]bool, count)
+		for i := range live {
+			live[i] = true
+		}
+		for op := 0; op < count*2; op++ {
+			i := rng.Intn(count)
+			switch rng.Intn(3) {
+			case 0:
+				events[i].Cancel()
+				live[i] = false
+			case 1:
+				to := time.Duration(rng.Intn(30))
+				if e.Reschedule(events[i], to) {
+					finalAt[i] = to
+					live[i] = true
+				}
+			}
+		}
+		e.Run()
+		for i := range fired {
+			if !live[i] && fired[i] != 0 {
+				return false
+			}
+			if live[i] && (fired[i] != 1 || firedAt[i] != finalAt[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func BenchmarkEngineScheduleAndRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var e Engine

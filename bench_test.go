@@ -11,7 +11,11 @@ package tempo
 // the paper-vs-measured comparison for every entry.
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -19,8 +23,25 @@ import (
 
 	"tempo/internal/cluster"
 	"tempo/internal/exp"
+	"tempo/internal/qs"
+	"tempo/internal/scenario"
 	"tempo/internal/workload"
 )
+
+// TestMain lets the benchmark harness persist a machine-readable record of
+// the perf-trajectory benchmarks: when TEMPO_BENCH_OUT names a file, every
+// recordBench call made during the run is written there as JSON (the
+// BENCH_<pr>.json files CI regenerates and the repo commits as baselines).
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("TEMPO_BENCH_OUT"); path != "" && code == 0 {
+		if err := writeBenchRecords(path); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
 
 // benchSeed keeps all benchmark experiments reproducible. loopSeed is used
 // for the control-loop experiments: it selects a representative contended
@@ -355,6 +376,210 @@ func BenchmarkWhatIfBatch(b *testing.B) {
 					}
 				}
 			}
+		})
+	}
+}
+
+// benchRecords collects the measurements TestMain persists on exit.
+var benchRecords struct {
+	mu      sync.Mutex
+	entries map[string]map[string]float64
+}
+
+// recordBench stores one benchmark's headline metrics for TEMPO_BENCH_OUT.
+func recordBench(name string, metrics map[string]float64) {
+	benchRecords.mu.Lock()
+	defer benchRecords.mu.Unlock()
+	if benchRecords.entries == nil {
+		benchRecords.entries = map[string]map[string]float64{}
+	}
+	benchRecords.entries[name] = metrics
+}
+
+// writeBenchRecords renders the collected metrics as a stable-ordered JSON
+// document.
+func writeBenchRecords(path string) error {
+	benchRecords.mu.Lock()
+	defer benchRecords.mu.Unlock()
+	if len(benchRecords.entries) == 0 {
+		return nil
+	}
+	type entry struct {
+		Name    string             `json:"name"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	doc := struct {
+		Go         string  `json:"go"`
+		Benchmarks []entry `json:"benchmarks"`
+	}{Go: runtime.Version()}
+	names := make([]string, 0, len(benchRecords.entries))
+	for name := range benchRecords.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		doc.Benchmarks = append(doc.Benchmarks, entry{Name: name, Metrics: benchRecords.entries[name]})
+	}
+	b, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// stressFixture is the shared large-tenant evaluation workload: the
+// committed stress-1000 scenario's tenant mix played for two hours through
+// the emulator, scored under a production-shaped SLO set — response time,
+// throughput, deadline violations, and a fairness share per tenant, plus
+// the cluster-wide SLOs. Per-tenant fairness is the oracle's worst case
+// (two full task-schedule scans per template); the incremental path
+// answers it from two prefix-integral lookups.
+type stressFixture struct {
+	sched     *cluster.Schedule
+	templates []Template
+	err       error
+}
+
+var stressOnce struct {
+	sync.Once
+	f stressFixture
+}
+
+func stressEvalFixture() (*cluster.Schedule, []Template, error) {
+	stressOnce.Do(func() {
+		spec, err := scenario.LoadFile("internal/scenario/testdata/scenarios/stress-1000.json")
+		if err != nil {
+			stressOnce.f.err = err
+			return
+		}
+		rt, err := scenario.Build(spec, scenario.Options{Parallelism: 1})
+		if err != nil {
+			stressOnce.f.err = err
+			return
+		}
+		horizon := 2 * time.Hour
+		trace, err := workload.Generate(rt.Profiles, workload.GenerateOptions{
+			Horizon: horizon,
+			Seed:    spec.Seed + 1,
+			Name:    "stress-bench",
+		})
+		if err != nil {
+			stressOnce.f.err = err
+			return
+		}
+		sched, err := cluster.Run(trace, rt.Initial, cluster.Options{Horizon: horizon})
+		if err != nil {
+			stressOnce.f.err = err
+			return
+		}
+		names := spec.TenantNames()
+		templates := []Template{
+			{Metric: Utilization},
+			{Metric: Throughput},
+		}
+		for _, tenant := range names {
+			templates = append(templates,
+				Template{Queue: tenant, Metric: AvgResponseTime},
+				Template{Queue: tenant, Metric: Throughput},
+				Template{Queue: tenant, Metric: DeadlineViolations, Slack: 0.25},
+				Template{Queue: tenant, Metric: Fairness, DesiredShare: 1 / float64(len(names))},
+			)
+		}
+		stressOnce.f = stressFixture{sched: sched, templates: templates}
+	})
+	return stressOnce.f.sched, stressOnce.f.templates, stressOnce.f.err
+}
+
+// minDuration returns the fastest of reps timed runs of fn — single-shot
+// CI runs (-benchtime=1x) are noisy, and the minimum is the stable
+// estimator of a deterministic computation's cost.
+func minDuration(reps int, fn func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// BenchmarkQSIncremental pits the incremental QS path against the
+// full-recompute oracle on the stress tier: a 1000-tenant schedule scored
+// under ~4000 templates, the shape the paper's handful-of-tenants protocol
+// never reaches. It fails outright if the incremental path is not faster —
+// the CI regression gate for this PR's tentpole — and records the speedup
+// for BENCH_3.json. The two paths' QS vectors must be bit-identical on the
+// full window.
+func BenchmarkQSIncremental(b *testing.B) {
+	sched, templates, err := stressEvalFixture()
+	if err != nil {
+		b.Fatal(err)
+	}
+	end := sched.Horizon + time.Nanosecond
+	want := qs.EvalAll(templates, sched, 0, end)
+	got := qs.EvalStream(templates, sched, 0, end)
+	for i := range want {
+		if got[i] != want[i] {
+			b.Fatalf("objective %d (%s): incremental %v != oracle %v", i, templates[i].Name(), got[i], want[i])
+		}
+	}
+	oracleNs := minDuration(3, func() { qs.EvalAll(templates, sched, 0, end) })
+	incrNs := minDuration(3, func() { qs.EvalStream(templates, sched, 0, end) })
+	if incrNs >= oracleNs {
+		b.Fatalf("incremental evaluation (%v) is not faster than the full-recompute oracle (%v) at %d templates × %d jobs + %d tasks",
+			incrNs, oracleNs, len(templates), len(sched.Jobs), len(sched.Tasks))
+	}
+	speedup := float64(oracleNs) / float64(incrNs)
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(float64(oracleNs.Nanoseconds()), "oracle-ns")
+	b.ReportMetric(float64(incrNs.Nanoseconds()), "incremental-ns")
+	recordBench("QSIncremental", map[string]float64{
+		"tenants":        1000,
+		"templates":      float64(len(templates)),
+		"jobs":           float64(len(sched.Jobs)),
+		"tasks":          float64(len(sched.Tasks)),
+		"oracle_ns":      float64(oracleNs.Nanoseconds()),
+		"incremental_ns": float64(incrNs.Nanoseconds()),
+		"speedup":        speedup,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qs.EvalStream(templates, sched, 0, end)
+	}
+}
+
+// BenchmarkStressScenario runs the committed stress-tier scenarios end to
+// end (workload synthesis, emulation, incremental QS, canonical report) —
+// the wall-clock envelope of the large-tenant regression fixtures.
+func BenchmarkStressScenario(b *testing.B) {
+	for _, name := range []string{"stress-100", "stress-1000"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			spec, err := scenario.LoadFile("internal/scenario/testdata/scenarios/" + name + ".json")
+			if err != nil {
+				b.Fatal(err)
+			}
+			var jobs int
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				rep, err := scenario.Run(spec, scenario.Options{Parallelism: DefaultParallelism()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				jobs = 0
+				for _, it := range rep.Iterations {
+					jobs += it.SubmittedJobs
+				}
+			}
+			wallNs := float64(time.Since(start).Nanoseconds()) / float64(b.N)
+			b.ReportMetric(float64(jobs), "jobs")
+			recordBench("StressScenario/"+name, map[string]float64{
+				"iterations": float64(spec.Iterations),
+				"jobs":       float64(jobs),
+				"wall_ns":    wallNs,
+			})
 		})
 	}
 }

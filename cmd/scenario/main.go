@@ -96,7 +96,7 @@ func runOne(path string, parallelism int, reportPath string, quiet bool) error {
 		controller = "controller off"
 	}
 	fmt.Printf("%s: %d tenants, %d containers, %d x %gmin intervals, %s (%s wall)\n",
-		rep.Scenario, len(spec.Tenants), rep.Capacity, len(rep.Iterations), rep.IntervalMinutes,
+		rep.Scenario, len(spec.TenantNames()), rep.Capacity, len(rep.Iterations), rep.IntervalMinutes,
 		controller, elapsed.Round(time.Millisecond))
 	if !quiet {
 		fmt.Printf("%5s  %4s  %8s  %8s  %9s", "iter", "cap", "switched", "reverted", "preempted")

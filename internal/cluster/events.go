@@ -1,0 +1,332 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"slices"
+	"time"
+
+	"tempo/internal/workload"
+)
+
+// This file defines the canonical event-stream view of a Schedule. The
+// record view (Schedule.Jobs / Schedule.Tasks) and the event view carry the
+// same information; the event view is the substrate of the incremental QS
+// path (internal/qs.Accumulator), which consumes the stream once instead of
+// re-scanning all records per metric. The stream is a pure function of the
+// schedule: same records, same bytes of events, in the same order.
+
+// EventKind classifies one schedule event.
+type EventKind uint8
+
+// The event kinds, in their canonical same-instant order. Ties in Time are
+// broken by causality: a job submits before its tasks start, and a task
+// ends before its job finishes. Task intervals are half-open [Start, End),
+// so with starts ordered before ends at the same instant the running
+// allocation count (sum of Delta) never goes negative, even for
+// zero-length attempts.
+const (
+	// EventJobSubmit marks a job entering the system; it carries the job's
+	// deadline (zero means none).
+	EventJobSubmit EventKind = iota
+	// EventTaskStart marks a container being occupied by a task attempt
+	// (allocation Delta +1).
+	EventTaskStart
+	// EventTaskEnd marks the attempt releasing its container (allocation
+	// Delta -1); it carries the attempt's outcome.
+	EventTaskEnd
+	// EventJobFinish marks the job's terminal record: completion, kill, or
+	// horizon truncation.
+	EventJobFinish
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventJobSubmit:
+		return "job-submit"
+	case EventTaskStart:
+		return "task-start"
+	case EventTaskEnd:
+		return "task-end"
+	case EventJobFinish:
+		return "job-finish"
+	}
+	return "unknown"
+}
+
+// Event is one element of a schedule's canonical event stream. Together the
+// four kinds carry every field of the record view, so the stream can be
+// replayed into an identical Schedule (see ReplaySchedule).
+type Event struct {
+	// Time is the virtual time of the event.
+	Time time.Duration
+	// Kind selects which of the remaining fields are meaningful.
+	Kind EventKind
+	// Seq is the index of the underlying record: into Schedule.Jobs for job
+	// events, into Schedule.Tasks for task events. Together with Kind it
+	// makes every event unique, which is what makes the stream's order
+	// total.
+	Seq int
+	// Tenant and JobID identify the owner on every kind.
+	Tenant string
+	JobID  string
+	// Delta is the container-allocation change: +1 on EventTaskStart, -1 on
+	// EventTaskEnd, 0 on job events. Deltas over any completed stream sum
+	// to zero.
+	Delta int
+	// Deadline is meaningful on EventJobSubmit (zero means none).
+	Deadline time.Duration
+	// Completed and Killed are meaningful on EventJobFinish.
+	Completed bool
+	Killed    bool
+	// TaskKind and Attempt are meaningful on task events.
+	TaskKind workload.TaskKind
+	Attempt  int
+	// Outcome is meaningful on EventTaskEnd.
+	Outcome TaskOutcome
+}
+
+// EventLess is the canonical strict ordering of the stream: by Time, then
+// by Kind (submit < task-start < task-end < job-finish), then by Seq. It is
+// a total order because (Kind, Seq) is unique per event.
+func EventLess(a, b *Event) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Seq < b.Seq
+}
+
+// Events returns the schedule as its canonical ordered event stream: one
+// EventJobSubmit/EventJobFinish pair per job record and one
+// EventTaskStart/EventTaskEnd pair per task attempt, sorted by EventLess.
+// Every job record emits a finish event even when the job did not complete
+// (the record's Finish then marks the kill or horizon-truncation time), so
+// the stream always carries the full record view.
+//
+// The stream is assembled as a four-way merge of per-kind cursors over
+// index-sorted record views rather than one big sort: each Event (a large,
+// pointer-carrying struct) is written exactly once, and the index sorts
+// are nearly no-ops on emulator output, whose Jobs and Tasks already come
+// in submit and start order.
+func (s *Schedule) Events() []Event {
+	nj, nt := len(s.Jobs), len(s.Tasks)
+	submitIdx := sortedIndex(nj, func(i, j int32) bool {
+		a, b := s.Jobs[i].Submit, s.Jobs[j].Submit
+		return a < b || (a == b && i < j)
+	})
+	finishIdx := sortedIndex(nj, func(i, j int32) bool {
+		a, b := s.Jobs[i].Finish, s.Jobs[j].Finish
+		return a < b || (a == b && i < j)
+	})
+	startIdx := sortedIndex(nt, func(i, j int32) bool {
+		a, b := s.Tasks[i].Start, s.Tasks[j].Start
+		return a < b || (a == b && i < j)
+	})
+	endIdx := sortedIndex(nt, func(i, j int32) bool {
+		a, b := s.Tasks[i].End, s.Tasks[j].End
+		return a < b || (a == b && i < j)
+	})
+
+	events := make([]Event, 0, 2*nj+2*nt)
+	var js, jf, ts, te int
+	for len(events) < cap(events) {
+		bestKind := EventKind(255)
+		var bestTime time.Duration
+		var bestSeq int32
+		consider := func(kind EventKind, at time.Duration, seq int32) {
+			if bestKind == 255 || at < bestTime || (at == bestTime && kind < bestKind) {
+				bestKind, bestTime, bestSeq = kind, at, seq
+			}
+		}
+		if js < nj {
+			i := submitIdx[js]
+			consider(EventJobSubmit, s.Jobs[i].Submit, i)
+		}
+		if ts < nt {
+			i := startIdx[ts]
+			consider(EventTaskStart, s.Tasks[i].Start, i)
+		}
+		if te < nt {
+			i := endIdx[te]
+			consider(EventTaskEnd, s.Tasks[i].End, i)
+		}
+		if jf < nj {
+			i := finishIdx[jf]
+			consider(EventJobFinish, s.Jobs[i].Finish, i)
+		}
+		switch bestKind {
+		case EventJobSubmit:
+			j := &s.Jobs[bestSeq]
+			events = append(events, Event{
+				Time: j.Submit, Kind: EventJobSubmit, Seq: int(bestSeq),
+				Tenant: j.Tenant, JobID: j.ID, Deadline: j.Deadline,
+			})
+			js++
+		case EventTaskStart:
+			t := &s.Tasks[bestSeq]
+			events = append(events, Event{
+				Time: t.Start, Kind: EventTaskStart, Seq: int(bestSeq),
+				Tenant: t.Tenant, JobID: t.JobID, Delta: +1,
+				TaskKind: t.Kind, Attempt: t.Attempt,
+			})
+			ts++
+		case EventTaskEnd:
+			t := &s.Tasks[bestSeq]
+			events = append(events, Event{
+				Time: t.End, Kind: EventTaskEnd, Seq: int(bestSeq),
+				Tenant: t.Tenant, JobID: t.JobID, Delta: -1,
+				TaskKind: t.Kind, Attempt: t.Attempt, Outcome: t.Outcome,
+			})
+			te++
+		case EventJobFinish:
+			j := &s.Jobs[bestSeq]
+			events = append(events, Event{
+				Time: j.Finish, Kind: EventJobFinish, Seq: int(bestSeq),
+				Tenant: j.Tenant, JobID: j.ID, Completed: j.Completed, Killed: j.Killed,
+			})
+			jf++
+		}
+	}
+	return events
+}
+
+// sortedIndex returns [0, n) sorted by the comparator. Ties never occur:
+// every less function falls back to index order.
+func sortedIndex(n int, less func(i, j int32) bool) []int32 {
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	slices.SortFunc(idx, func(a, b int32) int {
+		if less(a, b) {
+			return -1
+		}
+		return 1
+	})
+	return idx
+}
+
+// ReplaySchedule reconstructs a Schedule from its event stream. Capacity
+// and Horizon are not part of the stream and are supplied by the caller.
+// For a stream produced by Events, the result is deeply equal to the
+// original schedule.
+func ReplaySchedule(capacity int, horizon time.Duration, events []Event) *Schedule {
+	s := &Schedule{Capacity: capacity, Horizon: horizon}
+	maxJob, maxTask := -1, -1
+	for i := range events {
+		switch events[i].Kind {
+		case EventJobSubmit, EventJobFinish:
+			if events[i].Seq > maxJob {
+				maxJob = events[i].Seq
+			}
+		case EventTaskStart, EventTaskEnd:
+			if events[i].Seq > maxTask {
+				maxTask = events[i].Seq
+			}
+		}
+	}
+	if maxJob >= 0 {
+		s.Jobs = make([]JobRecord, maxJob+1)
+	}
+	if maxTask >= 0 {
+		s.Tasks = make([]TaskRecord, maxTask+1)
+	}
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case EventJobSubmit:
+			j := &s.Jobs[ev.Seq]
+			j.ID, j.Tenant = ev.JobID, ev.Tenant
+			j.Submit, j.Deadline = ev.Time, ev.Deadline
+		case EventJobFinish:
+			j := &s.Jobs[ev.Seq]
+			j.ID, j.Tenant = ev.JobID, ev.Tenant
+			j.Finish, j.Completed, j.Killed = ev.Time, ev.Completed, ev.Killed
+		case EventTaskStart:
+			t := &s.Tasks[ev.Seq]
+			t.JobID, t.Tenant = ev.JobID, ev.Tenant
+			t.Kind, t.Attempt, t.Start = ev.TaskKind, ev.Attempt, ev.Time
+		case EventTaskEnd:
+			t := &s.Tasks[ev.Seq]
+			t.JobID, t.Tenant = ev.JobID, ev.Tenant
+			t.Kind, t.Attempt = ev.TaskKind, ev.Attempt
+			t.End, t.Outcome = ev.Time, ev.Outcome
+		}
+	}
+	return s
+}
+
+// Fingerprint returns a 64-bit FNV-1a digest of the schedule's full record
+// view (capacity, horizon, every job and task field). Schedules with equal
+// fingerprints are almost certainly identical; callers that must be exact
+// (the what-if evaluation cache) verify with Equal before trusting a match.
+func (s *Schedule) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	str := func(v string) {
+		u(uint64(len(v)))
+		h.Write([]byte(v))
+	}
+	b := func(v bool) {
+		if v {
+			u(1)
+		} else {
+			u(0)
+		}
+	}
+	u(uint64(s.Capacity))
+	u(uint64(s.Horizon))
+	u(uint64(len(s.Jobs)))
+	for i := range s.Jobs {
+		j := &s.Jobs[i]
+		str(j.ID)
+		str(j.Tenant)
+		u(uint64(j.Submit))
+		u(uint64(j.Finish))
+		u(uint64(j.Deadline))
+		b(j.Completed)
+		b(j.Killed)
+	}
+	u(uint64(len(s.Tasks)))
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		str(t.JobID)
+		str(t.Tenant)
+		u(uint64(t.Kind))
+		u(uint64(t.Attempt))
+		u(uint64(t.Start))
+		u(uint64(t.End))
+		u(uint64(t.Outcome))
+	}
+	return h.Sum64()
+}
+
+// Equal reports whether two schedules have identical record views. It is
+// the exact check behind Fingerprint matches.
+func (s *Schedule) Equal(o *Schedule) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if s.Capacity != o.Capacity || s.Horizon != o.Horizon ||
+		len(s.Jobs) != len(o.Jobs) || len(s.Tasks) != len(o.Tasks) {
+		return false
+	}
+	for i := range s.Jobs {
+		if s.Jobs[i] != o.Jobs[i] {
+			return false
+		}
+	}
+	for i := range s.Tasks {
+		if s.Tasks[i] != o.Tasks[i] {
+			return false
+		}
+	}
+	return true
+}

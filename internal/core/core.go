@@ -304,7 +304,7 @@ func (c *Controller) Step() (Iteration, error) {
 	if err != nil {
 		return Iteration{}, fmt.Errorf("core: observing interval %d: %w", iterIdx, err)
 	}
-	observed := qs.EvalAll(c.cfg.Templates, sched, 0, sched.Horizon+time.Nanosecond)
+	observed := qs.EvalStream(c.cfg.Templates, sched, 0, sched.Horizon+time.Nanosecond)
 	it := Iteration{Index: iterIdx, Config: c.current.Clone(), Observed: observed}
 	if c.scales == nil {
 		c.scales = make([]float64, len(observed))

@@ -361,7 +361,7 @@ func Figure11(seed int64) (*Figure11Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	baseVals := qs.EvalAll(templates, base, 0, base.Horizon+time.Nanosecond)
+	baseVals := qs.EvalStream(templates, base, 0, base.Horizon+time.Nanosecond)
 	baseAJR := baseVals[1]
 	res := &Figure11Result{BaselineDeadlinePct: baseVals[0] * 100}
 
@@ -470,7 +470,7 @@ func Figure12(seed int64) (*Figure12Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	truth := qs.EvalAll(templates, truthSched, 0, truthSched.Horizon+time.Nanosecond)
+	truth := qs.EvalStream(templates, truthSched, 0, truthSched.Horizon+time.Nanosecond)
 
 	res := &Figure12Result{}
 	for _, frac := range []float64{1.0, 0.5, 0.25} {

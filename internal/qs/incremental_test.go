@@ -1,0 +1,303 @@
+package qs
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"tempo/internal/cluster"
+	"tempo/internal/linalg"
+	"tempo/internal/workload"
+)
+
+// allTemplates builds a representative template set over the schedule's
+// tenants: every metric kind, cluster-wide and per-tenant, with randomized
+// slacks, shares, and priorities.
+func allTemplates(rng *rand.Rand, tenants []string) []Template {
+	mapKind, redKind := workload.Map, workload.Reduce
+	templates := []Template{
+		{Metric: Utilization},
+		{Metric: Utilization, TaskKind: &mapKind, EffectiveOnly: true},
+		{Metric: Utilization, TaskKind: &redKind},
+		{Metric: Throughput},
+	}
+	for _, tenant := range tenants {
+		templates = append(templates,
+			Template{Queue: tenant, Metric: AvgResponseTime, Priority: 0.5 + 2*rng.Float64()},
+			Template{Queue: tenant, Metric: DeadlineViolations, Slack: rng.Float64()},
+			Template{Queue: tenant, Metric: Utilization, EffectiveOnly: rng.Intn(2) == 0},
+			Template{Queue: tenant, Metric: Throughput},
+			Template{Queue: tenant, Metric: Fairness, DesiredShare: rng.Float64()},
+		)
+	}
+	return templates
+}
+
+// checkWindow compares the incremental path against the oracle for one
+// window. exact demands bit-identical values (the full-window guarantee
+// golden reports rely on); otherwise values must agree within 1e-9
+// relative — float summation order is the only permitted difference.
+func checkWindow(t *testing.T, acc *Accumulator, templates []Template, s *cluster.Schedule, from, to time.Duration, exact bool) {
+	t.Helper()
+	want := EvalAll(templates, s, from, to)
+	for i := range templates {
+		got := acc.Value(i, from, to)
+		w := want[i]
+		if math.IsNaN(w) != math.IsNaN(got) {
+			t.Fatalf("template %s window [%v, %v): got %v, want %v", templates[i].Name(), from, to, got, w)
+		}
+		if math.IsNaN(w) {
+			continue
+		}
+		if exact {
+			if got != w {
+				t.Fatalf("template %s full window [%v, %v): got %v, want %v (must be bit-identical)",
+					templates[i].Name(), from, to, got, w)
+			}
+			continue
+		}
+		if diff := math.Abs(got - w); diff > 1e-9*(1+math.Abs(w)) {
+			t.Fatalf("template %s window [%v, %v): got %v, want %v (diff %g)",
+				templates[i].Name(), from, to, got, w, diff)
+		}
+	}
+}
+
+// coveringWindow returns a window end strictly past every record time, so
+// [0, coveringWindow(s)) is a whole-schedule window — the shape for which
+// the incremental path guarantees bit-identical results. For emulator
+// output this equals Horizon+1ns, since no record outlives the horizon;
+// the synthetic fuzz schedules can place finishes beyond it.
+func coveringWindow(s *cluster.Schedule) time.Duration {
+	max := s.Horizon
+	for i := range s.Jobs {
+		if f := s.Jobs[i].Finish; f > max {
+			max = f
+		}
+		if sub := s.Jobs[i].Submit; sub > max {
+			max = sub
+		}
+	}
+	for i := range s.Tasks {
+		if e := s.Tasks[i].End; e > max {
+			max = e
+		}
+	}
+	return max + time.Nanosecond
+}
+
+// randomWindows yields query windows biased toward the edges the half-open
+// convention cares about: exact submit/finish instants, 1ns offsets around
+// them, empty and inverted windows, and the full horizon.
+func randomWindows(rng *rand.Rand, s *cluster.Schedule) [][2]time.Duration {
+	windows := [][2]time.Duration{
+		{0, s.Horizon + time.Nanosecond}, // the control loop's query
+		{0, s.Horizon},
+		{0, 0},                         // empty
+		{s.Horizon, 0},                 // inverted
+		{s.Horizon / 3, s.Horizon / 3}, // empty mid-run
+		{-time.Hour, 10 * s.Horizon},   // superset of everything
+	}
+	var edges []time.Duration
+	for i := range s.Jobs {
+		edges = append(edges, s.Jobs[i].Submit, s.Jobs[i].Finish)
+	}
+	for i := range s.Tasks {
+		edges = append(edges, s.Tasks[i].Start, s.Tasks[i].End)
+	}
+	pick := func() time.Duration {
+		if len(edges) > 0 && rng.Intn(2) == 0 {
+			e := edges[rng.Intn(len(edges))]
+			return e + time.Duration(rng.Intn(3)-1) // e-1ns, e, e+1ns
+		}
+		return time.Duration(rng.Int63n(int64(s.Horizon + time.Minute)))
+	}
+	for k := 0; k < 24; k++ {
+		windows = append(windows, [2]time.Duration{pick(), pick()})
+	}
+	return windows
+}
+
+// TestPropertyIncrementalOracle is the equivalence centerpiece: for
+// randomized schedules — both arbitrary synthetic record sets and real
+// emulated runs under random RM configurations — every incremental QS
+// value equals the full-recompute oracle within 1e-9 across random
+// [From, To) windows, and bit-identically on windows covering the whole
+// schedule.
+func TestPropertyIncrementalOracle(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		s := fuzzSchedule(rng.Int63(), 1+rng.Intn(64), rng.Intn(40))
+		templates := allTemplates(rng, []string{"a", "b", "c"})
+		acc := Accumulate(templates, s)
+		checkWindow(t, acc, templates, s, 0, coveringWindow(s), true)
+		checkWindow(t, acc, templates, s, 0, s.Horizon+time.Nanosecond, false)
+		for _, w := range randomWindows(rng, s) {
+			checkWindow(t, acc, templates, s, w[0], w[1], false)
+		}
+	}
+}
+
+// TestPropertyIncrementalOracleEmulated runs the same equivalence check on
+// schedules produced by the real emulator: generated multi-tenant traces
+// under randomly decoded RM configurations, with and without noise.
+func TestPropertyIncrementalOracleEmulated(t *testing.T) {
+	tenants := []string{"deadline", "besteffort", "analytics"}
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed*7919 + 3))
+			profiles := []workload.TenantProfile{
+				workload.DeadlineDriven("deadline", 0.5+rng.Float64()),
+				workload.BestEffort("besteffort", 0.5+rng.Float64()),
+				workload.Facebook("analytics", 0.3+0.5*rng.Float64()),
+			}
+			trace, err := workload.Generate(profiles, workload.GenerateOptions{
+				Horizon: time.Hour, Seed: rng.Int63(), Name: "prop",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			capacity := 16 + rng.Intn(32)
+			space := cluster.DefaultSpace(capacity, tenants)
+			x := linalg.NewVector(space.Dim())
+			for i := range x {
+				x[i] = rng.Float64()
+			}
+			cfg := space.Decode(x)
+			opts := cluster.Options{Horizon: time.Hour}
+			if rng.Intn(2) == 0 {
+				opts.Noise = cluster.DefaultNoise(rng.Int63())
+			}
+			sched, err := cluster.Run(trace, cfg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			templates := allTemplates(rng, tenants)
+			acc := Accumulate(templates, sched)
+			checkWindow(t, acc, templates, sched, 0, sched.Horizon+time.Nanosecond, true)
+			for _, w := range randomWindows(rng, sched) {
+				checkWindow(t, acc, templates, sched, w[0], w[1], false)
+			}
+		})
+	}
+}
+
+// TestAccumulatorConcurrentQueries drives one shared accumulator from many
+// goroutines — including the implicit first-query Seal — so `go test
+// -race` verifies Value/Values are safe for concurrent use.
+func TestAccumulatorConcurrentQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s := fuzzSchedule(99, 32, 30)
+	templates := allTemplates(rng, []string{"a", "b", "c"})
+	acc := NewAccumulator(templates, s.Capacity)
+	for _, ev := range s.Events() {
+		acc.Observe(ev)
+	}
+	windows := randomWindows(rng, s)
+	wide := coveringWindow(s)
+	want := EvalAll(templates, s, 0, wide)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := acc.Values(0, wide) // first call seals
+			for i := range want {
+				if got[i] != want[i] && !(math.IsNaN(got[i]) && math.IsNaN(want[i])) {
+					t.Errorf("concurrent full-window value %d: got %v, want %v", i, got[i], want[i])
+					return
+				}
+			}
+			for _, w := range windows {
+				acc.Values(w[0], w[1])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestObserveAfterSealIgnored locks the documented contract: once the
+// accumulator seals (explicitly or via the first query), further Observe
+// calls change nothing.
+func TestObserveAfterSealIgnored(t *testing.T) {
+	s := fuzzSchedule(5, 16, 12)
+	templates := []Template{{Queue: "a", Metric: Throughput}, {Metric: Utilization}}
+	acc := Accumulate(templates, s) // sealed
+	wide := coveringWindow(s)
+	want := acc.Values(0, wide)
+	late := cluster.Event{
+		Time: time.Minute, Kind: cluster.EventJobSubmit, Seq: len(s.Jobs) + 5,
+		Tenant: "a", JobID: "late",
+	}
+	acc.Observe(late)
+	got := acc.Values(0, wide)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-seal Observe changed value %d: %v -> %v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestIntervalEdgeConvention locks the half-open [From, To) convention
+// documented in qs.go: a job finishing exactly at To is excluded by BOTH
+// evaluation paths, a job finishing 1ns earlier is included, and the
+// allocation integral clips tasks at To.
+func TestIntervalEdgeConvention(t *testing.T) {
+	to := 100 * time.Second
+	s := &cluster.Schedule{Capacity: 10, Horizon: 2 * to}
+	s.Jobs = []cluster.JobRecord{
+		// Finishes exactly at To: excluded from Ji.
+		{ID: "edge", Tenant: "a", Submit: 10 * time.Second, Finish: to, Completed: true, Deadline: 20 * time.Second},
+		// Finishes 1ns before To: included.
+		{ID: "in", Tenant: "a", Submit: 20 * time.Second, Finish: to - time.Nanosecond, Completed: true, Deadline: 30 * time.Second},
+		// Submitted exactly at To: excluded.
+		{ID: "late", Tenant: "a", Submit: to, Finish: to + time.Second, Completed: true},
+	}
+	s.Tasks = []cluster.TaskRecord{
+		// Ends exactly at To: counts fully (half-open occupation [50s, To)).
+		{JobID: "edge", Tenant: "a", Start: 50 * time.Second, End: to, Outcome: cluster.TaskFinished},
+		// Starts exactly at To: contributes nothing to [0, To).
+		{JobID: "late", Tenant: "a", Start: to, End: to + 10*time.Second, Outcome: cluster.TaskFinished},
+	}
+	templates := []Template{
+		{Queue: "a", Metric: Throughput},
+		{Queue: "a", Metric: AvgResponseTime},
+		{Queue: "a", Metric: DeadlineViolations},
+		{Queue: "a", Metric: Utilization},
+	}
+	acc := Accumulate(templates, s)
+	for name, vals := range map[string][]float64{
+		"oracle":      EvalAll(templates, s, 0, to),
+		"incremental": acc.Values(0, to),
+	} {
+		// Only "in" is in the job set: one completed job, one violated
+		// deadline (finish 99.99…s > deadline 30s), response ~80s.
+		if got := -vals[0]; got != 1 {
+			t.Errorf("%s: throughput counted %v jobs in [0, To), want 1 (job finishing at To must be excluded)", name, got)
+		}
+		wantAJR := (to - time.Nanosecond - 20*time.Second).Seconds()
+		if math.Abs(vals[1]-wantAJR) > 1e-9 {
+			t.Errorf("%s: AJR = %v, want %v", name, vals[1], wantAJR)
+		}
+		if vals[2] != 1 {
+			t.Errorf("%s: deadline violations = %v, want 1 (only the included job counts)", name, vals[2])
+		}
+		// 50s of one container out of 100s × 10 containers; the task
+		// starting at To adds nothing.
+		if math.Abs(vals[3]+0.05) > 1e-12 {
+			t.Errorf("%s: utilization = %v, want -0.05", name, vals[3])
+		}
+	}
+	// Moving the window one nanosecond past To admits the edge job in both
+	// paths.
+	oracleWide := EvalAll(templates, s, 0, to+time.Nanosecond)
+	incrWide := acc.Values(0, to+time.Nanosecond)
+	if -oracleWide[0] != 2 || -incrWide[0] != 2 {
+		t.Errorf("[0, To+1ns): oracle %v / incremental %v completed jobs, want 2", -oracleWide[0], -incrWide[0])
+	}
+}

@@ -7,6 +7,25 @@
 // the job set Ji for tenant i is the jobs submitted AND completed inside
 // the interval, and utilization integrates container allocation over the
 // interval's length L.
+//
+// # Interval convention
+//
+// Every window is half-open: [From, To). A job belongs to the window's job
+// set Ji iff From <= Submit < To AND Finish < To — a job finishing exactly
+// at To is excluded, uniformly across the response-time, deadline, and
+// throughput metrics and across both evaluation paths (the full-recompute
+// oracle in this file and the incremental Accumulator in incremental.go).
+// Allocation integrals clip task intervals to [From, To) the same way: a
+// container occupied on [a, To) counts up to To, one occupied from To on
+// counts nothing. Callers that want jobs finishing exactly at the horizon
+// included therefore evaluate over [0, Horizon+1ns), as the control loop
+// does. TestIntervalEdgeConvention locks this behaviour for both paths.
+//
+// Two evaluation paths compute the same metrics: Template.Eval / EvalAll
+// scan every record per template (the reference oracle), while EvalStream /
+// Accumulator consume the schedule's event stream once and answer window
+// queries from per-metric indexes. Full-schedule windows are bit-identical
+// across the two; arbitrary windows agree within float round-off.
 package qs
 
 import (
@@ -148,7 +167,9 @@ func (t Template) Eval(s *cluster.Schedule, from, to time.Duration) float64 {
 }
 
 // EvalAll evaluates every template over the same interval, producing the
-// QS vector f(x; w) the optimizer consumes.
+// QS vector f(x; w) the optimizer consumes. It rescans all records once
+// per template — O(k·(jobs+tasks)) — and serves as the reference oracle
+// for the incremental path (EvalStream), which production callers use.
 func EvalAll(templates []Template, s *cluster.Schedule, from, to time.Duration) []float64 {
 	out := make([]float64, len(templates))
 	for i, t := range templates {

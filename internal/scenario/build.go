@@ -62,9 +62,10 @@ func Build(spec *Spec, opts Options) (*Runtime, error) {
 		return nil, err
 	}
 	interval := spec.Interval()
-	profiles := make([]workload.TenantProfile, 0, len(spec.Tenants))
-	for i := range spec.Tenants {
-		p, err := spec.Tenants[i].Materialize()
+	tenants := spec.ExpandedTenants()
+	profiles := make([]workload.TenantProfile, 0, len(tenants))
+	for i := range tenants {
+		p, err := tenants[i].Materialize()
 		if err != nil {
 			return nil, err
 		}

@@ -99,9 +99,11 @@ func firstDiff(got, want []byte) string {
 
 // TestRunBitReproducibleAcrossParallelism asserts the acceptance criterion:
 // the report bytes are identical for any what-if parallelism setting,
-// including fully sequential evaluation.
+// including fully sequential evaluation. The stress tier runs here too —
+// at 100 tenants the controller's candidate batches genuinely fan out, so
+// this is where a parallelism-dependent reduction would surface.
 func TestRunBitReproducibleAcrossParallelism(t *testing.T) {
-	for _, name := range []string{"steady-two-tenant", "capacity-loss", "diurnal-drift"} {
+	for _, name := range []string{"steady-two-tenant", "capacity-loss", "diurnal-drift", "stress-100", "stress-1000"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()

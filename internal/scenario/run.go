@@ -50,7 +50,7 @@ func (rt *Runtime) Run() (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			it.Observed = qs.EvalAll(rt.Templates, sched, 0, sched.Horizon+time.Nanosecond)
+			it.Observed = qs.EvalStream(rt.Templates, sched, 0, sched.Horizon+time.Nanosecond)
 		}
 		fillScheduleStats(&it, rt.env.schedules[i])
 		rep.Iterations = append(rep.Iterations, it)

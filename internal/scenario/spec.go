@@ -72,11 +72,28 @@ type Spec struct {
 	Controller ControllerSpec `json:"controller"`
 }
 
+// maxTenantCount bounds one group's replication factor: it keeps a typo'd
+// spec from materializing millions of tenants, and keeps every replica
+// suffix within the fixed three-digit padding so expanded names sort in
+// replica order.
+const maxTenantCount = 1000
+
 // TenantSpec declares one tenant as a named statistical profile preset plus
-// arrival-process and lifecycle modifiers.
+// arrival-process and lifecycle modifiers. With Count > 1 it declares a
+// whole *group* of tenants sharing the profile — the stress tier's way of
+// describing hundreds of tenants in a few lines.
 type TenantSpec struct {
-	// Name is the tenant (queue) name.
+	// Name is the tenant (queue) name — or, with Count > 1, the group
+	// prefix.
 	Name string `json:"name"`
+	// Count replicates this spec into Count tenants named "<name>-000",
+	// "<name>-001", … (zero-padded to three digits). Each replica draws an
+	// independent workload stream: the generator seeds per-tenant
+	// randomness by tenant name, so replicas share the statistical profile
+	// but not the arrivals. 0 and 1 both mean a single tenant named Name
+	// verbatim. Per-tenant SLOs and initial-config entries refer to
+	// replicas by their expanded names.
+	Count int `json:"count,omitempty"`
 	// Profile selects the statistical workload preset: "deadline-driven",
 	// "best-effort", "facebook", "cloudera", or one of the Company ABC
 	// tenants "abc-bi", "abc-dev", "abc-app", "abc-str", "abc-mv",
@@ -221,11 +238,34 @@ func (s *Spec) Horizon() time.Duration {
 	return time.Duration(s.Iterations) * s.Interval()
 }
 
-// TenantNames returns the scenario's tenant names, sorted.
-func (s *Spec) TenantNames() []string {
-	out := make([]string, 0, len(s.Tenants))
+// ExpandedTenants returns the effective tenant list with every Count > 1
+// group materialized into its named replicas, in declaration order.
+func (s *Spec) ExpandedTenants() []TenantSpec {
+	out := make([]TenantSpec, 0, len(s.Tenants))
 	for i := range s.Tenants {
-		out = append(out, s.Tenants[i].Name)
+		t := s.Tenants[i]
+		if t.Count <= 1 {
+			t.Count = 0
+			out = append(out, t)
+			continue
+		}
+		for r := 0; r < t.Count; r++ {
+			replica := t
+			replica.Name = fmt.Sprintf("%s-%03d", t.Name, r)
+			replica.Count = 0
+			out = append(out, replica)
+		}
+	}
+	return out
+}
+
+// TenantNames returns the scenario's effective tenant names (groups
+// expanded), sorted.
+func (s *Spec) TenantNames() []string {
+	expanded := s.ExpandedTenants()
+	out := make([]string, 0, len(expanded))
+	for i := range expanded {
+		out = append(out, expanded[i].Name)
 	}
 	sort.Strings(out)
 	return out
@@ -461,12 +501,26 @@ func (s *Spec) Validate() error {
 	if len(s.Tenants) == 0 {
 		return fmt.Errorf("scenario %s: no tenants", s.Name)
 	}
-	seen := map[string]bool{}
 	for i := range s.Tenants {
 		t := &s.Tenants[i]
 		if t.Name == "" {
 			return fmt.Errorf("scenario %s: tenant %d has empty name", s.Name, i)
 		}
+		if t.Count < 0 {
+			return fmt.Errorf("scenario %s: tenant %s has negative count %d", s.Name, t.Name, t.Count)
+		}
+		if t.Count > maxTenantCount {
+			return fmt.Errorf("scenario %s: tenant %s count %d exceeds the %d-replica cap",
+				s.Name, t.Name, t.Count, maxTenantCount)
+		}
+	}
+	// Structural checks run over the expanded list, so replica-name
+	// collisions (group "a" with count 2 versus an explicit tenant
+	// "a-001") fail loudly.
+	expanded := s.ExpandedTenants()
+	seen := map[string]bool{}
+	for i := range expanded {
+		t := &expanded[i]
 		if seen[t.Name] {
 			return fmt.Errorf("scenario %s: duplicate tenant %s", s.Name, t.Name)
 		}

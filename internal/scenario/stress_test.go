@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// stressBase returns a minimal valid spec with one replicated group.
+func stressBase() *Spec {
+	return &Spec{
+		Name:            "stress-test",
+		Seed:            1,
+		Capacity:        32,
+		IntervalMinutes: 10,
+		Iterations:      1,
+		Tenants: []TenantSpec{
+			{Name: "bulk", Profile: "best-effort", Count: 3, Scale: 0.5},
+			{Name: "solo", Profile: "deadline-driven", Scale: 0.5},
+		},
+		SLOs:       []SLOSpec{{Metric: "utilization"}},
+		Controller: ControllerSpec{Disabled: true},
+	}
+}
+
+// TestExpandedTenants locks the replica naming scheme and the pass-through
+// of singleton specs.
+func TestExpandedTenants(t *testing.T) {
+	spec := stressBase()
+	got := spec.ExpandedTenants()
+	want := []string{"bulk-000", "bulk-001", "bulk-002", "solo"}
+	if len(got) != len(want) {
+		t.Fatalf("expanded to %d tenants, want %d", len(got), len(want))
+	}
+	for i, name := range want {
+		if got[i].Name != name {
+			t.Errorf("replica %d named %q, want %q", i, got[i].Name, name)
+		}
+		if got[i].Count != 0 {
+			t.Errorf("replica %d kept count %d, want 0", i, got[i].Count)
+		}
+	}
+	names := spec.TenantNames()
+	if len(names) != 4 || names[0] != "bulk-000" || names[3] != "solo" {
+		t.Fatalf("TenantNames = %v", names)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("valid stress spec rejected: %v", err)
+	}
+}
+
+// TestExpandedTenantsValidation covers the failure modes replication adds:
+// replica-name collisions, negative counts, and the replica cap.
+func TestExpandedTenantsValidation(t *testing.T) {
+	collide := stressBase()
+	collide.Tenants = append(collide.Tenants, TenantSpec{Name: "bulk-001", Profile: "best-effort"})
+	if err := collide.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate tenant bulk-001") {
+		t.Fatalf("replica collision not rejected: %v", err)
+	}
+	negative := stressBase()
+	negative.Tenants[0].Count = -2
+	if err := negative.Validate(); err == nil || !strings.Contains(err.Error(), "negative count") {
+		t.Fatalf("negative count not rejected: %v", err)
+	}
+	huge := stressBase()
+	huge.Tenants[0].Count = maxTenantCount + 1
+	if err := huge.Validate(); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("over-cap count not rejected: %v", err)
+	}
+	// SLOs may target replicas by expanded name.
+	slo := stressBase()
+	slo.SLOs = append(slo.SLOs, SLOSpec{Queue: "bulk-002", Metric: "avg_response_time"})
+	if err := slo.Validate(); err != nil {
+		t.Fatalf("SLO on expanded replica rejected: %v", err)
+	}
+	slo.SLOs = append(slo.SLOs, SLOSpec{Queue: "bulk-003", Metric: "avg_response_time"})
+	if err := slo.Validate(); err == nil {
+		t.Fatal("SLO on nonexistent replica accepted")
+	}
+}
+
+// TestStressBuildReplicasDiverge builds a replicated spec and checks the
+// replicas draw independent workload streams: same profile, different
+// arrivals.
+func TestStressBuildReplicasDiverge(t *testing.T) {
+	spec := stressBase()
+	spec.Tenants[0].Count = 4
+	spec.Tenants[0].Scale = 2
+	rt, err := Build(spec, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Profiles) != 5 {
+		t.Fatalf("built %d profiles, want 5", len(rt.Profiles))
+	}
+	perTenant := map[string][]time.Duration{}
+	for i := range rt.Trace.Jobs {
+		j := &rt.Trace.Jobs[i]
+		perTenant[j.Tenant] = append(perTenant[j.Tenant], j.Submit)
+	}
+	submits := map[string]bool{}
+	replicas := 0
+	for tenant, subs := range perTenant {
+		if !strings.HasPrefix(tenant, "bulk-") {
+			continue
+		}
+		replicas++
+		key := ""
+		for _, s := range subs {
+			key += s.String() + ","
+		}
+		if submits[key] {
+			t.Fatalf("two replicas share an identical arrival stream (%s)", tenant)
+		}
+		submits[key] = true
+	}
+	if replicas < 2 {
+		t.Skipf("only %d replicas submitted jobs in the window; need 2 to compare", replicas)
+	}
+}

@@ -54,6 +54,64 @@ func (m *Model) EvaluateBatch(cfgs []cluster.Config) ([][]float64, error) {
 	return out, nil
 }
 
+// evalCache shares QS vectors across the candidates of one batch. Small
+// configuration deltas frequently leave the predicted schedule unchanged
+// (a weight tweak beyond the contention point, a max-share above demand),
+// in which case re-deriving the QS vector from an identical event stream
+// is pure waste. Entries are keyed by (sample, schedule fingerprint) and
+// verified with an exact record comparison before reuse, so a fingerprint
+// collision can never corrupt a result; and since verified-equal schedules
+// yield bit-identical QS vectors, reuse cannot perturb determinism no
+// matter which worker populated the entry first.
+type evalCache struct {
+	mu      sync.Mutex
+	entries map[int][]evalCacheEntry
+}
+
+// maxCacheEntriesPerSample bounds retained schedules: each entry pins a
+// full predicted schedule (jobs + tasks) for the batch's lifetime, and a
+// batch whose candidates all predict distinct schedules gains nothing
+// from caching them. PALD batches score a handful of candidates, so the
+// bound is never hit in the control loop; it only caps memory for huge
+// hand-built batches.
+const maxCacheEntriesPerSample = 32
+
+type evalCacheEntry struct {
+	fp    uint64
+	sched *cluster.Schedule
+	vals  []float64
+}
+
+func newEvalCache() *evalCache {
+	return &evalCache{entries: map[int][]evalCacheEntry{}}
+}
+
+// lookup returns a previously computed QS vector for an identical
+// (sample, schedule) pair, or nil. The O(records) exact comparison runs
+// outside the lock — entries are append-only and immutable once stored,
+// so only the slice snapshot needs the mutex, and workers comparing large
+// schedules do not serialize each other.
+func (c *evalCache) lookup(sample int, sched *cluster.Schedule, fp uint64) []float64 {
+	c.mu.Lock()
+	candidates := c.entries[sample]
+	c.mu.Unlock()
+	for _, e := range candidates {
+		if e.fp == fp && e.sched.Equal(sched) {
+			return e.vals
+		}
+	}
+	return nil
+}
+
+func (c *evalCache) store(sample int, sched *cluster.Schedule, fp uint64, vals []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries[sample]) >= maxCacheEntriesPerSample {
+		return
+	}
+	c.entries[sample] = append(c.entries[sample], evalCacheEntry{fp: fp, sched: sched, vals: vals})
+}
+
 // evalPairs scores every (configuration, sample) pair and returns the QS
 // vectors indexed by cfg*samples + sample. Errors are aggregated
 // deterministically: the pair with the lowest flat index wins, which is
@@ -66,13 +124,14 @@ func (m *Model) evalPairs(cfgs []cluster.Config, samples int) ([][]float64, erro
 	total := len(cfgs) * samples
 	vecs := make([][]float64, total)
 	errs := make([]error, total)
+	cache := newEvalCache()
 	workers := m.Parallelism
 	if workers > total {
 		workers = total
 	}
 	if workers <= 1 {
 		for idx := 0; idx < total; idx++ {
-			vecs[idx], errs[idx] = m.evalSample(predict, cfgs[idx/samples], idx%samples)
+			vecs[idx], errs[idx] = m.evalSample(predict, cache, cfgs[idx/samples], idx%samples)
 			if errs[idx] != nil {
 				break
 			}
@@ -95,7 +154,7 @@ func (m *Model) evalPairs(cfgs []cluster.Config, samples int) ([][]float64, erro
 					if idx >= total {
 						return
 					}
-					vecs[idx], errs[idx] = m.evalSample(predict, cfgs[idx/samples], idx%samples)
+					vecs[idx], errs[idx] = m.evalSample(predict, cache, cfgs[idx/samples], idx%samples)
 				}
 			}()
 		}
@@ -112,8 +171,13 @@ func (m *Model) evalPairs(cfgs []cluster.Config, samples int) ([][]float64, erro
 	return vecs, nil
 }
 
-// evalSample scores cfg on one workload sample.
-func (m *Model) evalSample(predict Predictor, cfg cluster.Config, sample int) ([]float64, error) {
+// evalSample scores cfg on one workload sample: it predicts the task
+// schedule, then derives the full QS vector incrementally — the schedule's
+// event stream is built once and shared by every template
+// (qs.EvalStream), instead of one record scan per template. Candidates
+// whose predicted schedule is identical to one already scored for the
+// same sample reuse its vector through the batch's evalCache.
+func (m *Model) evalSample(predict Predictor, cache *evalCache, cfg cluster.Config, sample int) ([]float64, error) {
 	trace, err := m.Gen(sample)
 	if err != nil {
 		return nil, fmt.Errorf("generating sample %d: %w", sample, err)
@@ -128,5 +192,11 @@ func (m *Model) evalSample(predict Predictor, cfg cluster.Config, sample int) ([
 	if sched == nil {
 		return nil, fmt.Errorf("predicting sample %d: predictor returned a nil schedule", sample)
 	}
-	return qs.EvalAll(m.Templates, sched, 0, sched.Horizon+time.Nanosecond), nil
+	fp := sched.Fingerprint()
+	if vals := cache.lookup(sample, sched, fp); vals != nil {
+		return vals, nil
+	}
+	vals := qs.EvalStream(m.Templates, sched, 0, sched.Horizon+time.Nanosecond)
+	cache.store(sample, sched, fp, vals)
+	return vals, nil
 }

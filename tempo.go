@@ -97,6 +97,45 @@ type (
 	NoiseModel = cluster.NoiseModel
 )
 
+// Event streams (the canonical incremental view of a schedule).
+type (
+	// Event is one element of a schedule's canonical ordered event stream
+	// (Schedule.Events): job submit/finish, task start/end, allocation
+	// deltas.
+	Event = cluster.Event
+	// EventKind classifies a schedule event.
+	EventKind = cluster.EventKind
+)
+
+// The schedule event kinds, in canonical same-instant order.
+const (
+	// EventJobSubmit marks a job entering the system.
+	EventJobSubmit = cluster.EventJobSubmit
+	// EventTaskStart marks a container being occupied (+1 allocation).
+	EventTaskStart = cluster.EventTaskStart
+	// EventTaskEnd marks a container being released (-1 allocation).
+	EventTaskEnd = cluster.EventTaskEnd
+	// EventJobFinish marks a job's terminal record.
+	EventJobFinish = cluster.EventJobFinish
+)
+
+// ReplaySchedule reconstructs a Schedule from its event stream.
+func ReplaySchedule(capacity int, horizon time.Duration, events []Event) *Schedule {
+	return cluster.ReplaySchedule(capacity, horizon, events)
+}
+
+// Accumulator answers QS queries over arbitrary [From, To) windows after
+// consuming a schedule's event stream exactly once — the incremental
+// counterpart of per-template evaluation.
+type Accumulator = qs.Accumulator
+
+// NewAccumulator returns an empty accumulator for the template set over a
+// cluster of the given container capacity. Feed it Schedule.Events via
+// Observe, Seal, then query Value/Values (safe concurrently).
+func NewAccumulator(templates []Template, capacity int) *Accumulator {
+	return qs.NewAccumulator(templates, capacity)
+}
+
 // TaskOutcome classifies how a task attempt ended.
 type TaskOutcome = cluster.TaskOutcome
 
@@ -213,9 +252,15 @@ func Generate(profiles []TenantProfile, opts GenerateOptions) (*Trace, error) {
 }
 
 // Evaluate computes the QS vector of a schedule over [from, to) for the
-// given SLO templates.
+// given SLO templates. It picks the cheaper evaluation path by template
+// count: per-template record scans for small SLO sets, or a single pass
+// over the schedule's event stream shared by every template — the
+// incremental path, asymptotically ahead once templates scale with
+// tenants. Results are bit-identical to per-template Template.Eval for
+// windows covering the whole schedule and equal within float round-off
+// for arbitrary windows.
 func Evaluate(templates []Template, s *Schedule, from, to time.Duration) []float64 {
-	return qs.EvalAll(templates, s, from, to)
+	return qs.EvalStream(templates, s, from, to)
 }
 
 // NewController wires a Tempo control loop starting from the given initial

@@ -1,0 +1,63 @@
+package tempo_test
+
+// The serving-layer benchmark lives in the external test package: the
+// control plane (internal/service) wraps the root package's Session
+// handle, so an in-package benchmark would be an import cycle. It shares
+// the in-package harness's test binary, so recording through
+// internal/benchrec lands in the same TEMPO_BENCH_OUT document.
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"tempo/internal/benchrec"
+	"tempo/internal/service"
+)
+
+// BenchmarkServiceThroughput measures the sharded control plane end to
+// end over real HTTP: N clusters created from the builtin loadgen preset
+// and driven through their full control-loop budgets with interleaved
+// tick, QS, and what-if traffic. At 100 clusters every per-cluster report
+// is verified byte-identical to the scenario run sequentially — the
+// acceptance criterion — so the recorded throughput is the throughput of
+// provably deterministic execution; 1000 clusters measures scale.
+func BenchmarkServiceThroughput(b *testing.B) {
+	for _, clusters := range []int{100, 1000} {
+		verify := clusters <= 100
+		b.Run(fmt.Sprintf("clusters=%d", clusters), func(b *testing.B) {
+			var last *service.DriveReport
+			for i := 0; i < b.N; i++ {
+				svc := service.New(service.Config{})
+				ts := httptest.NewServer(svc.Handler())
+				rep, err := service.Drive(ts.URL, service.DriveOptions{
+					Clusters:    clusters,
+					QSEvery:     2,
+					WhatIfEvery: 3,
+					Verify:      verify,
+				})
+				ts.Close()
+				svc.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if verify && rep.Verified != clusters {
+					b.Fatalf("only %d/%d cluster reports verified", rep.Verified, clusters)
+				}
+				last = rep
+			}
+			b.ReportMetric(last.TicksPerSec, "ticks/sec")
+			b.ReportMetric(last.ClustersDone, "clusters/sec")
+			benchrec.Record(fmt.Sprintf("ServiceThroughput/clusters=%d", clusters), map[string]float64{
+				"clusters":         float64(last.Clusters),
+				"ticks":            float64(last.Ticks),
+				"qs_queries":       float64(last.QSQueries),
+				"whatif_calls":     float64(last.WhatIfCalls),
+				"verified":         float64(last.Verified),
+				"wall_ns":          last.WallSeconds * 1e9,
+				"ticks_per_sec":    last.TicksPerSec,
+				"clusters_per_sec": last.ClustersDone,
+			})
+		})
+	}
+}

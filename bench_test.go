@@ -11,16 +11,14 @@ package tempo
 // the paper-vs-measured comparison for every entry.
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"tempo/internal/benchrec"
 	"tempo/internal/cluster"
 	"tempo/internal/exp"
 	"tempo/internal/qs"
@@ -30,12 +28,15 @@ import (
 
 // TestMain lets the benchmark harness persist a machine-readable record of
 // the perf-trajectory benchmarks: when TEMPO_BENCH_OUT names a file, every
-// recordBench call made during the run is written there as JSON (the
-// BENCH_<pr>.json files CI regenerates and the repo commits as baselines).
+// recordBench call made during the run (including the external-package
+// service benchmarks, which share this test binary and record through
+// internal/benchrec) is written there as JSON — the BENCH_<pr>.json files
+// CI regenerates and compares against the committed baseline with
+// cmd/benchdiff.
 func TestMain(m *testing.M) {
 	code := m.Run()
 	if path := os.Getenv("TEMPO_BENCH_OUT"); path != "" && code == 0 {
-		if err := writeBenchRecords(path); err != nil {
+		if err := benchrec.Write(path); err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
 			code = 1
 		}
@@ -380,51 +381,9 @@ func BenchmarkWhatIfBatch(b *testing.B) {
 	}
 }
 
-// benchRecords collects the measurements TestMain persists on exit.
-var benchRecords struct {
-	mu      sync.Mutex
-	entries map[string]map[string]float64
-}
-
 // recordBench stores one benchmark's headline metrics for TEMPO_BENCH_OUT.
 func recordBench(name string, metrics map[string]float64) {
-	benchRecords.mu.Lock()
-	defer benchRecords.mu.Unlock()
-	if benchRecords.entries == nil {
-		benchRecords.entries = map[string]map[string]float64{}
-	}
-	benchRecords.entries[name] = metrics
-}
-
-// writeBenchRecords renders the collected metrics as a stable-ordered JSON
-// document.
-func writeBenchRecords(path string) error {
-	benchRecords.mu.Lock()
-	defer benchRecords.mu.Unlock()
-	if len(benchRecords.entries) == 0 {
-		return nil
-	}
-	type entry struct {
-		Name    string             `json:"name"`
-		Metrics map[string]float64 `json:"metrics"`
-	}
-	doc := struct {
-		Go         string  `json:"go"`
-		Benchmarks []entry `json:"benchmarks"`
-	}{Go: runtime.Version()}
-	names := make([]string, 0, len(benchRecords.entries))
-	for name := range benchRecords.entries {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		doc.Benchmarks = append(doc.Benchmarks, entry{Name: name, Metrics: benchRecords.entries[name]})
-	}
-	b, err := json.MarshalIndent(&doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	benchrec.Record(name, metrics)
 }
 
 // stressFixture is the shared large-tenant evaluation workload: the

@@ -1,0 +1,186 @@
+// Command benchdiff is the CI perf-regression gate: it compares a freshly
+// generated BENCH_<pr>.json against the committed baseline and fails on
+// regressions beyond a tolerance band, so perf drift cannot land
+// silently.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_4.json -fresh BENCH_4.fresh.json
+//	benchdiff ... -tolerance 0.25 -time-tolerance 0.5
+//
+// Metrics are classified by name:
+//
+//   - deterministic counts (tenants, jobs, ticks, verified, …) must match
+//     exactly — any drift is a behavioural change, not noise;
+//   - machine-independent ratios (speedup) gate at -tolerance;
+//   - wall-clock metrics (*_ns lower-better, *_per_sec higher-better)
+//     gate at the wider -time-tolerance, since absolute times move with
+//     runner hardware; refresh the committed baseline from the CI
+//     artifact when the fleet shifts.
+//
+// Improvements and unknown metrics are reported but never fail the gate.
+// Exit status: 0 clean, 1 regression or shape mismatch, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"tempo/internal/benchrec"
+)
+
+// exactMetrics are deterministic outputs of seeded runs: equality, not
+// tolerance, is the bar.
+var exactMetrics = map[string]bool{
+	"tenants":      true,
+	"templates":    true,
+	"jobs":         true,
+	"tasks":        true,
+	"iterations":   true,
+	"ticks":        true,
+	"clusters":     true,
+	"qs_queries":   true,
+	"whatif_calls": true,
+	"verified":     true,
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "committed BENCH_<pr>.json baseline")
+		freshPath    = flag.String("fresh", "", "freshly generated BENCH_<pr>.json")
+		tolerance    = flag.Float64("tolerance", 0.25, "allowed relative regression for ratio metrics (0.25 = 25%)")
+		timeTol      = flag.Float64("time-tolerance", 0.5, "allowed relative regression for wall-clock metrics")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -fresh are required")
+		os.Exit(2)
+	}
+	failures, err := diff(os.Stdout, *baselinePath, *freshPath, *tolerance, *timeTol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if failures > 0 {
+		fmt.Printf("\nbenchdiff: %d regression(s) beyond tolerance — if intended, refresh the baseline and commit it\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchdiff: no regressions beyond tolerance")
+}
+
+type class int
+
+const (
+	classExact      class = iota
+	classRatio            // higher is better, machine-independent
+	classTimeLower        // lower is better, wall-clock
+	classTimeHigher       // higher is better, wall-clock
+	classInfo
+)
+
+// classify maps a metric name to its gating class.
+func classify(name string) class {
+	switch {
+	case exactMetrics[name]:
+		return classExact
+	case name == "speedup":
+		return classRatio
+	case strings.HasSuffix(name, "_ns"):
+		return classTimeLower
+	case strings.HasSuffix(name, "_per_sec"):
+		return classTimeHigher
+	default:
+		return classInfo
+	}
+}
+
+func diff(w *os.File, baselinePath, freshPath string, tolerance, timeTol float64) (failures int, err error) {
+	baseline, err := benchrec.Load(baselinePath)
+	if err != nil {
+		return 0, fmt.Errorf("loading baseline: %w", err)
+	}
+	fresh, err := benchrec.Load(freshPath)
+	if err != nil {
+		return 0, fmt.Errorf("loading fresh run: %w", err)
+	}
+	freshByName := map[string]map[string]float64{}
+	for _, e := range fresh.Benchmarks {
+		freshByName[e.Name] = e.Metrics
+	}
+	fmt.Fprintf(w, "baseline %s (%s) vs fresh %s (%s)\n\n", baselinePath, baseline.Go, freshPath, fresh.Go)
+	fmt.Fprintf(w, "%-44s %14s %14s %9s  %s\n", "benchmark/metric", "baseline", "fresh", "delta", "verdict")
+	for _, e := range baseline.Benchmarks {
+		got, ok := freshByName[e.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-44s %14s %14s %9s  FAIL (benchmark missing from fresh run)\n", e.Name, "-", "-", "-")
+			failures++
+			continue
+		}
+		for _, name := range sortedKeys(e.Metrics) {
+			base := e.Metrics[name]
+			label := e.Name + "/" + name
+			freshVal, ok := got[name]
+			if !ok {
+				fmt.Fprintf(w, "%-44s %14.4g %14s %9s  FAIL (metric missing)\n", label, base, "-", "-")
+				failures++
+				continue
+			}
+			delta := 0.0
+			if base != 0 {
+				delta = (freshVal - base) / math.Abs(base)
+			}
+			verdict := "ok"
+			switch classify(name) {
+			case classExact:
+				if freshVal != base {
+					verdict = "FAIL (deterministic count drifted)"
+					failures++
+				}
+			case classRatio:
+				if freshVal < base*(1-tolerance) {
+					verdict = fmt.Sprintf("FAIL (beyond -%.0f%%)", tolerance*100)
+					failures++
+				}
+			case classTimeLower:
+				if freshVal > base*(1+timeTol) {
+					verdict = fmt.Sprintf("FAIL (beyond +%.0f%%)", timeTol*100)
+					failures++
+				}
+			case classTimeHigher:
+				if freshVal < base*(1-timeTol) {
+					verdict = fmt.Sprintf("FAIL (beyond -%.0f%%)", timeTol*100)
+					failures++
+				}
+			case classInfo:
+				verdict = "info"
+			}
+			fmt.Fprintf(w, "%-44s %14.4g %14.4g %8.1f%%  %s\n", label, base, freshVal, delta*100, verdict)
+		}
+	}
+	for _, e := range fresh.Benchmarks {
+		found := false
+		for _, b := range baseline.Benchmarks {
+			if b.Name == e.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(w, "%-44s %14s %14s %9s  info (new benchmark — consider refreshing the baseline)\n", e.Name, "-", "-", "-")
+		}
+	}
+	return failures, nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary double as the benchdiff binary: when
+// BENCHDIFF_RUN_MAIN is set, it runs main() with the process arguments
+// instead of the test suite.
+func TestMain(m *testing.M) {
+	if os.Getenv("BENCHDIFF_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, exitCode int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "BENCHDIFF_RUN_MAIN=1")
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	err := cmd.Run()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return out.String(), errBuf.String(), ee.ExitCode()
+		}
+		t.Fatalf("running CLI: %v", err)
+	}
+	return out.String(), errBuf.String(), 0
+}
+
+func writeDoc(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseDoc = `{
+  "go": "go1.23.0",
+  "benchmarks": [
+    {"name": "QSIncremental", "metrics": {"speedup": 8.0, "oracle_ns": 1000000, "jobs": 500}},
+    {"name": "ServiceThroughput/clusters=100", "metrics": {"ticks_per_sec": 3000, "ticks": 300, "verified": 100}}
+  ]
+}`
+
+func TestCleanPass(t *testing.T) {
+	// Within band: speedup -10%, oracle_ns +30% (time tolerance 50%),
+	// deterministic counts unchanged.
+	fresh := `{
+  "go": "go1.23.0",
+  "benchmarks": [
+    {"name": "QSIncremental", "metrics": {"speedup": 7.2, "oracle_ns": 1300000, "jobs": 500}},
+    {"name": "ServiceThroughput/clusters=100", "metrics": {"ticks_per_sec": 2800, "ticks": 300, "verified": 100}}
+  ]
+}`
+	stdout, stderr, code := runCLI(t,
+		"-baseline", writeDoc(t, "base.json", baseDoc),
+		"-fresh", writeDoc(t, "fresh.json", fresh))
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "no regressions beyond tolerance") {
+		t.Fatalf("missing clean verdict:\n%s", stdout)
+	}
+}
+
+func TestRatioRegressionFails(t *testing.T) {
+	// speedup 8.0 -> 5.0 is a 37.5% regression, beyond the 25% band.
+	fresh := strings.Replace(baseDoc, `"speedup": 8.0`, `"speedup": 5.0`, 1)
+	stdout, _, code := runCLI(t,
+		"-baseline", writeDoc(t, "base.json", baseDoc),
+		"-fresh", writeDoc(t, "fresh.json", fresh))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "QSIncremental/speedup") || !strings.Contains(stdout, "FAIL") {
+		t.Fatalf("regression not reported:\n%s", stdout)
+	}
+}
+
+func TestDeterministicDriftFails(t *testing.T) {
+	// A changed job count is behavioural drift even though it is tiny.
+	fresh := strings.Replace(baseDoc, `"jobs": 500`, `"jobs": 501`, 1)
+	stdout, _, code := runCLI(t,
+		"-baseline", writeDoc(t, "base.json", baseDoc),
+		"-fresh", writeDoc(t, "fresh.json", fresh))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "deterministic count drifted") {
+		t.Fatalf("count drift not reported:\n%s", stdout)
+	}
+}
+
+func TestMissingBenchmarkFails(t *testing.T) {
+	fresh := `{"go": "go1.23.0", "benchmarks": [
+    {"name": "QSIncremental", "metrics": {"speedup": 8.0, "oracle_ns": 1000000, "jobs": 500}}
+  ]}`
+	stdout, _, code := runCLI(t,
+		"-baseline", writeDoc(t, "base.json", baseDoc),
+		"-fresh", writeDoc(t, "fresh.json", fresh))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "benchmark missing from fresh run") {
+		t.Fatalf("missing benchmark not reported:\n%s", stdout)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	_, stderr, code := runCLI(t)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "required") {
+		t.Fatalf("missing usage message: %s", stderr)
+	}
+	_, stderr, code = runCLI(t, "-baseline", "/does/not/exist.json", "-fresh", "/does/not/exist.json")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 (stderr: %s)", code, stderr)
+	}
+}

@@ -1,0 +1,110 @@
+// Command loadgen stress-drives a tempod control plane: it creates N
+// clusters from a scenario preset (each with its own seed), drives
+// concurrent tick/qs/what-if traffic across all of them, and asserts that
+// sharded, interleaved execution changed nothing — every cluster's report
+// must be byte-identical to the same scenario run sequentially in
+// process. It is both the serving layer's determinism gate (CI runs it at
+// 100 clusters) and its throughput probe.
+//
+// Usage:
+//
+//	loadgen -clusters 100                  # in-process tempod, builtin preset, verify
+//	loadgen -clusters 1000 -verify=false   # throughput only
+//	loadgen -addr http://host:8080 ...     # drive a remote tempod
+//	loadgen -spec path/to/scenario.json    # derive clusters from a custom spec
+//	loadgen -rate 200                      # cap aggregate ticks/sec
+//
+// With -addr empty (the default), loadgen starts an in-process service on
+// a loopback listener, so one command exercises the full HTTP stack.
+// Exit status is non-zero if any cluster's report mismatches.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"tempo/internal/scenario"
+	"tempo/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "tempod base URL (empty = start an in-process service)")
+		clusters = flag.Int("clusters", 100, "clusters to create and drive")
+		specPath = flag.String("spec", "", "scenario spec to derive clusters from (empty = builtin loadgen-small preset)")
+		workers  = flag.Int("workers", 32, "concurrent client workers")
+		rate     = flag.Float64("rate", 0, "aggregate tick-request rate cap per second (0 = unthrottled)")
+		qsEvery  = flag.Int("qs-every", 2, "issue a QS query every k-th tick round per cluster (0 = off)")
+		wiEvery  = flag.Int("whatif-every", 3, "issue a what-if probe every k-th tick round per cluster (0 = off)")
+		verify   = flag.Bool("verify", true, "compare every report against a sequential scenario run, byte for byte")
+		stride   = flag.Int64("seed-stride", 1, "per-cluster seed spacing")
+		shards   = flag.Int("shards", 4, "in-process service: cluster shards")
+		shardW   = flag.Int("shard-workers", 2, "in-process service: tick workers per shard")
+		asJSON   = flag.Bool("json", false, "emit the drive report as JSON")
+	)
+	flag.Parse()
+	if err := run(*addr, *specPath, *clusters, *workers, *rate, *qsEvery, *wiEvery, *stride, *shards, *shardW, *verify, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, specPath string, clusters, workers int, rate float64, qsEvery, wiEvery int, stride int64, shards, shardWorkers int, verify, asJSON bool) error {
+	var baseSpec *scenario.Spec
+	var err error
+	if specPath != "" {
+		baseSpec, err = scenario.LoadFile(specPath)
+	} else {
+		baseSpec, err = service.SmallSpec()
+	}
+	if err != nil {
+		return err
+	}
+
+	if addr == "" {
+		svc := service.New(service.Config{Shards: shards, WorkersPerShard: shardWorkers})
+		defer svc.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: svc.Handler()}
+		go srv.Serve(ln) //nolint:errcheck // closed on exit
+		defer srv.Close()
+		addr = "http://" + ln.Addr().String()
+		fmt.Printf("loadgen: in-process tempod on %s (%d shards x %d workers)\n", addr, shards, shardWorkers)
+	}
+
+	rep, err := service.Drive(addr, service.DriveOptions{
+		Clusters:    clusters,
+		Workers:     workers,
+		BaseSpec:    baseSpec,
+		SeedStride:  stride,
+		TickRate:    rate,
+		QSEvery:     qsEvery,
+		WhatIfEvery: wiEvery,
+		Verify:      verify,
+	})
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
+	}
+	fmt.Printf("loadgen: %d clusters x %d iterations (%s): %d ticks, %d qs queries, %d what-if calls in %.2fs\n",
+		rep.Clusters, rep.Iterations, baseSpec.Name, rep.Ticks, rep.QSQueries, rep.WhatIfCalls, rep.WallSeconds)
+	fmt.Printf("loadgen: %.1f ticks/sec, %.1f clusters/sec\n", rep.TicksPerSec, rep.ClustersDone)
+	if verify {
+		fmt.Printf("loadgen: %d/%d reports bit-identical to sequential runs\n", rep.Verified, rep.Clusters)
+	}
+	return nil
+}

@@ -8,7 +8,7 @@
 //	         -deadline-slack 0.25 -deadline-target 0.05
 //
 // The loop starts from a deliberately skewed "expert" configuration and
-// prints, per iteration, the observured QS metrics, whether a new RM
+// prints, per iteration, the observed QS metrics, whether a new RM
 // configuration was adopted, and whether the revert guard rolled one back.
 package main
 

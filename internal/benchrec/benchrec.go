@@ -1,0 +1,82 @@
+// Package benchrec collects headline benchmark metrics and persists them
+// as the repo's BENCH_<pr>.json perf baselines. Benchmarks (both the
+// in-package tempo harness and external-package service benchmarks, which
+// share one test binary) call Record; the harness TestMain calls Write
+// when TEMPO_BENCH_OUT names a file. cmd/benchdiff compares a freshly
+// generated file against the committed baseline — the CI perf-regression
+// gate.
+package benchrec
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Entry is one benchmark's recorded metrics.
+type Entry struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the on-disk shape of a BENCH_<pr>.json file.
+type Doc struct {
+	Go         string  `json:"go"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+var state struct {
+	mu      sync.Mutex
+	entries map[string]map[string]float64
+}
+
+// Record stores one benchmark's headline metrics, replacing any earlier
+// record under the same name.
+func Record(name string, metrics map[string]float64) {
+	state.mu.Lock()
+	defer state.mu.Unlock()
+	if state.entries == nil {
+		state.entries = map[string]map[string]float64{}
+	}
+	state.entries[name] = metrics
+}
+
+// Write renders everything recorded so far as stable-ordered JSON at
+// path. Writing nothing (no records) is a no-op so plain test runs never
+// touch the baseline.
+func Write(path string) error {
+	state.mu.Lock()
+	defer state.mu.Unlock()
+	if len(state.entries) == 0 {
+		return nil
+	}
+	doc := Doc{Go: runtime.Version()}
+	names := make([]string, 0, len(state.entries))
+	for name := range state.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		doc.Benchmarks = append(doc.Benchmarks, Entry{Name: name, Metrics: state.entries[name]})
+	}
+	b, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Load parses a BENCH_<pr>.json file.
+func Load(path string) (*Doc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}

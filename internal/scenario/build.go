@@ -53,7 +53,8 @@ type Runtime struct {
 	// Controller is nil when the spec disables the control loop.
 	Controller *core.Controller
 
-	env *runEnv
+	env        *runEnv
+	iterations []IterationReport
 }
 
 // Build materializes a validated spec into a runnable scenario.
@@ -126,26 +127,9 @@ func Build(spec *Spec, opts Options) (*Runtime, error) {
 		return rt, nil
 	}
 
-	var model *whatif.Model
-	if spec.Replay {
-		model, err = whatif.FromTrace(templates, trace)
-		if err != nil {
-			return nil, err
-		}
-		model.Horizon = interval // match the observation window exactly
-	} else {
-		model, err = whatif.FromProfiles(templates, profiles, interval, spec.Seed+seedWhatIfSample)
-		if err != nil {
-			return nil, err
-		}
-		if spec.Controller.WhatIfSamples > 0 {
-			model.Samples = spec.Controller.WhatIfSamples
-		}
-	}
-	if opts.Parallelism > 0 {
-		model.Parallelism = opts.Parallelism
-	} else {
-		model.Parallelism = whatif.DefaultParallelism()
+	model, err := rt.NewWhatIfModel(opts.Parallelism)
+	if err != nil {
+		return nil, err
 	}
 
 	maxStep := spec.Controller.MaxStep
@@ -179,6 +163,41 @@ func Build(spec *Spec, opts Options) (*Runtime, error) {
 	}
 	rt.Controller = ctl
 	return rt, nil
+}
+
+// NewWhatIfModel builds a What-if Model wired exactly the way the
+// scenario's controller uses one: replaying the scenario trace in replay
+// mode (horizon clipped to the control interval), or synthesizing fresh
+// interval-length draws from the tenant profiles in windowed mode, with
+// every seed derived from Spec.Seed. parallelism caps the worker pool
+// (<= 0 means one worker per CPU); results are bit-identical for every
+// setting. Each call returns an independent model, so serving-layer
+// what-if probes share nothing with the controller's own scoring.
+func (rt *Runtime) NewWhatIfModel(parallelism int) (*whatif.Model, error) {
+	spec := rt.Spec
+	var model *whatif.Model
+	var err error
+	if spec.Replay {
+		model, err = whatif.FromTrace(rt.Templates, rt.Trace)
+		if err != nil {
+			return nil, err
+		}
+		model.Horizon = rt.Interval // match the observation window exactly
+	} else {
+		model, err = whatif.FromProfiles(rt.Templates, rt.Profiles, rt.Interval, spec.Seed+seedWhatIfSample)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Controller.WhatIfSamples > 0 {
+			model.Samples = spec.Controller.WhatIfSamples
+		}
+	}
+	if parallelism > 0 {
+		model.Parallelism = parallelism
+	} else {
+		model.Parallelism = whatif.DefaultParallelism()
+	}
+	return model, nil
 }
 
 // noiseModel materializes the noise spec with the given stream seed, or nil

@@ -1,11 +1,19 @@
 package scenario
 
 import (
+	"errors"
 	"time"
 
 	"tempo/internal/cluster"
 	"tempo/internal/qs"
 )
+
+// ErrDone is returned by Runtime.Step once the spec's iteration budget is
+// exhausted. A scenario's report length is part of its identity — goldens
+// and the sequential-vs-sharded determinism checks compare byte-for-byte —
+// so a runtime refuses to tick past Spec.Iterations instead of silently
+// growing the report.
+var ErrDone = errors.New("scenario: run complete")
 
 // Run builds the spec and drives it to completion. The report is a pure
 // function of the spec: every random stream is derived from Spec.Seed, the
@@ -21,8 +29,70 @@ func Run(spec *Spec, opts Options) (*Report, error) {
 }
 
 // Run drives the built scenario for the spec's iteration count and
-// assembles the canonical report.
+// assembles the canonical report. It is exactly Step-until-done plus
+// Report, so a scenario driven one tick at a time (the serving path)
+// produces byte-identical output.
 func (rt *Runtime) Run() (*Report, error) {
+	for !rt.Done() {
+		if _, err := rt.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return rt.Report(), nil
+}
+
+// Done reports whether the spec's iteration budget is exhausted.
+func (rt *Runtime) Done() bool {
+	return len(rt.iterations) >= rt.Spec.Iterations
+}
+
+// StepsDone returns how many control intervals have run.
+func (rt *Runtime) StepsDone() int { return len(rt.iterations) }
+
+// Step runs one control interval — observe (and, with the controller
+// enabled, guard/propose/score/apply) — and records its iteration report.
+// It returns ErrDone once Spec.Iterations intervals have run.
+func (rt *Runtime) Step() (IterationReport, error) {
+	i := len(rt.iterations)
+	if i >= rt.Spec.Iterations {
+		return IterationReport{}, ErrDone
+	}
+	it := IterationReport{Index: i}
+	if rt.Controller != nil {
+		step, err := rt.Controller.Step()
+		if err != nil {
+			return IterationReport{}, err
+		}
+		it.Observed = step.Observed
+		it.Switched = step.Switched
+		it.Reverted = step.Reverted
+	} else {
+		sched, err := rt.env.Observe(rt.Initial, rt.Interval, i)
+		if err != nil {
+			return IterationReport{}, err
+		}
+		it.Observed = qs.EvalStream(rt.Templates, sched, 0, sched.Horizon+time.Nanosecond)
+	}
+	fillScheduleStats(&it, rt.env.schedules[i])
+	rt.iterations = append(rt.iterations, it)
+	return it, nil
+}
+
+// ObservedSchedule returns the task schedule iteration i ran under, or nil
+// when that interval has not run yet. The schedule is shared, not copied —
+// treat it as read-only.
+func (rt *Runtime) ObservedSchedule(i int) *cluster.Schedule {
+	if i < 0 || i >= len(rt.env.schedules) {
+		return nil
+	}
+	return rt.env.schedules[i]
+}
+
+// Report assembles the canonical report over the intervals run so far.
+// After the final Step it is the same report Run returns; mid-run it is a
+// consistent prefix snapshot (the summary aggregates only completed
+// intervals).
+func (rt *Runtime) Report() *Report {
 	spec := rt.Spec
 	rep := &Report{
 		Scenario:          spec.Name,
@@ -31,32 +101,13 @@ func (rt *Runtime) Run() (*Report, error) {
 		IntervalMinutes:   spec.IntervalMinutes,
 		Replay:            spec.Replay,
 		ControllerEnabled: rt.Controller != nil,
+		Iterations:        append([]IterationReport(nil), rt.iterations...),
 	}
 	for _, t := range rt.Templates {
 		rep.Objectives = append(rep.Objectives, t.Name())
 	}
-	for i := 0; i < spec.Iterations; i++ {
-		it := IterationReport{Index: i}
-		if rt.Controller != nil {
-			step, err := rt.Controller.Step()
-			if err != nil {
-				return nil, err
-			}
-			it.Observed = step.Observed
-			it.Switched = step.Switched
-			it.Reverted = step.Reverted
-		} else {
-			sched, err := rt.env.Observe(rt.Initial, rt.Interval, i)
-			if err != nil {
-				return nil, err
-			}
-			it.Observed = qs.EvalStream(rt.Templates, sched, 0, sched.Horizon+time.Nanosecond)
-		}
-		fillScheduleStats(&it, rt.env.schedules[i])
-		rep.Iterations = append(rep.Iterations, it)
-	}
 	rep.Summary = summarize(rep, rt)
-	return rep, nil
+	return rep
 }
 
 // fillScheduleStats derives the iteration's job and container statistics

@@ -1,0 +1,403 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tempo/internal/scenario"
+)
+
+// This file is the load-driving side of the control plane: a client that
+// spins up N clusters over the HTTP API and drives concurrent
+// tick/qs/what-if traffic against them, then (optionally) proves that
+// sharded, interleaved execution changed nothing — every cluster's report
+// must be byte-identical to the same scenario run sequentially in
+// process. cmd/loadgen wraps it behind flags; the service-throughput
+// benchmark drives it directly.
+
+// DriveOptions configure one load-generation run.
+type DriveOptions struct {
+	// Clusters is how many clusters to create and drive; 0 means 100.
+	Clusters int
+	// Workers is the client-side concurrency; 0 means 32. Every worker
+	// interleaves ticks across all clusters, so all Clusters clusters are
+	// in flight concurrently regardless of the worker count.
+	Workers int
+	// BaseSpec is the scenario every cluster derives from; nil means
+	// SmallSpec. Cluster i runs the base spec with Name "<name>-<i>" and
+	// Seed base+i·SeedStride, so clusters share the scenario shape but not
+	// their random streams.
+	BaseSpec *scenario.Spec
+	// SeedStride spaces the per-cluster seeds; 0 means 1.
+	SeedStride int64
+	// TickRate caps the aggregate tick request rate per second; 0 means
+	// unthrottled.
+	TickRate float64
+	// QSEvery issues a windowed QS query after every k-th tick round per
+	// cluster; 0 disables the probes.
+	QSEvery int
+	// WhatIfEvery issues a two-candidate what-if scoring request after
+	// every k-th tick round per cluster; 0 disables the probes.
+	WhatIfEvery int
+	// Verify re-runs every cluster's scenario sequentially in process and
+	// compares the canonical report bytes against the service's.
+	Verify bool
+}
+
+func (o DriveOptions) withDefaults() (DriveOptions, error) {
+	if o.Clusters <= 0 {
+		o.Clusters = 100
+	}
+	if o.Workers <= 0 {
+		o.Workers = 32
+	}
+	if o.BaseSpec == nil {
+		spec, err := SmallSpec()
+		if err != nil {
+			return o, err
+		}
+		o.BaseSpec = spec
+	}
+	if o.SeedStride == 0 {
+		o.SeedStride = 1
+	}
+	return o, nil
+}
+
+// DriveReport summarizes a load-generation run.
+type DriveReport struct {
+	Clusters     int     `json:"clusters"`
+	Iterations   int     `json:"iterations"`
+	Ticks        int     `json:"ticks"`
+	QSQueries    int     `json:"qs_queries"`
+	WhatIfCalls  int     `json:"whatif_calls"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	TicksPerSec  float64 `json:"ticks_per_sec"`
+	ClustersDone float64 `json:"clusters_per_sec"`
+	// Verified counts clusters whose service-side report matched the
+	// sequential run byte for byte; Mismatched lists the ones that did not
+	// (always empty on success — any entry fails the run).
+	Verified   int      `json:"verified"`
+	Mismatched []string `json:"mismatched,omitempty"`
+}
+
+// Drive runs one load-generation pass against a control plane at baseURL.
+// It creates the clusters, drives every one of them through its full
+// iteration budget with ticks interleaved across clusters (plus optional
+// QS and what-if probe traffic), and — with Verify set — asserts each
+// cluster's report is byte-identical to the same spec run sequentially.
+func Drive(baseURL string, opts DriveOptions) (*DriveReport, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	base, err := json.Marshal(opts.BaseSpec)
+	if err != nil {
+		return nil, fmt.Errorf("driver: marshaling base spec: %w", err)
+	}
+	specs := make([]*scenario.Spec, opts.Clusters)
+	ids := make([]string, opts.Clusters)
+	for i := range specs {
+		spec, err := deriveSpec(base, opts.BaseSpec.Name, i, opts.SeedStride)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = spec
+		ids[i] = spec.Name
+	}
+
+	client := &http.Client{}
+	rep := &DriveReport{Clusters: opts.Clusters, Iterations: opts.BaseSpec.Iterations}
+	start := time.Now()
+
+	// Phase 1: create all clusters, so the whole population is resident
+	// before the first tick.
+	if err := eachIndex(opts.Workers, opts.Clusters, func(i int) error {
+		body, err := json.Marshal(CreateRequest{ID: ids[i], Spec: mustMarshal(specs[i])})
+		if err != nil {
+			return err
+		}
+		var resp CreateResponse
+		return call(client, http.MethodPost, baseURL+"/clusters", body, &resp)
+	}); err != nil {
+		return nil, fmt.Errorf("driver: creating clusters: %w", err)
+	}
+
+	// Phase 2: drive ticks round-robin across the population. Work item t
+	// ticks cluster t mod N, so every cluster's control loops advance
+	// interleaved — the many-tenant serving shape, not N sequential runs.
+	var ticks, qsQueries, whatifCalls atomic.Int64
+	throttle := newThrottle(opts.TickRate)
+	defer throttle.stop()
+	total := opts.Clusters * opts.BaseSpec.Iterations
+	if err := eachIndex(opts.Workers, total, func(t int) error {
+		i := t % opts.Clusters
+		round := t / opts.Clusters
+		throttle.wait()
+		var tick TickResponse
+		if err := call(client, http.MethodPost, baseURL+"/clusters/"+ids[i]+"/tick", nil, &tick); err != nil {
+			return fmt.Errorf("tick %d of %s: %w", round, ids[i], err)
+		}
+		ticks.Add(1)
+		if opts.QSEvery > 0 && round%opts.QSEvery == 0 {
+			var qs QSResponse
+			if err := call(client, http.MethodGet, baseURL+"/clusters/"+ids[i]+"/qs", nil, &qs); err != nil {
+				return fmt.Errorf("qs probe of %s: %w", ids[i], err)
+			}
+			qsQueries.Add(1)
+		}
+		if opts.WhatIfEvery > 0 && round%opts.WhatIfEvery == 0 {
+			if err := whatIfProbe(client, baseURL, ids[i], specs[i]); err != nil {
+				return fmt.Errorf("what-if probe of %s: %w", ids[i], err)
+			}
+			whatifCalls.Add(1)
+		}
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("driver: driving ticks: %w", err)
+	}
+	rep.Ticks = int(ticks.Load())
+	rep.QSQueries = int(qsQueries.Load())
+	rep.WhatIfCalls = int(whatifCalls.Load())
+	rep.WallSeconds = time.Since(start).Seconds()
+	if rep.WallSeconds > 0 {
+		rep.TicksPerSec = float64(rep.Ticks) / rep.WallSeconds
+		rep.ClustersDone = float64(rep.Clusters) / rep.WallSeconds
+	}
+
+	// Phase 3: fetch reports; with Verify, re-run each scenario
+	// sequentially and compare bytes.
+	var mu sync.Mutex
+	if err := eachIndex(opts.Workers, opts.Clusters, func(i int) error {
+		got, err := fetchRaw(client, baseURL+"/clusters/"+ids[i]+"/report")
+		if err != nil {
+			return err
+		}
+		if !opts.Verify {
+			return nil
+		}
+		seqRep, err := scenario.Run(specs[i], scenario.Options{Parallelism: 1})
+		if err != nil {
+			return fmt.Errorf("sequential run of %s: %w", ids[i], err)
+		}
+		want, err := seqRep.MarshalCanonical()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if bytes.Equal(got, want) {
+			rep.Verified++
+		} else {
+			rep.Mismatched = append(rep.Mismatched, ids[i])
+		}
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("driver: verifying reports: %w", err)
+	}
+	if len(rep.Mismatched) > 0 {
+		return rep, fmt.Errorf("driver: %d/%d cluster reports differ from their sequential runs (first: %s) — sharded execution broke determinism",
+			len(rep.Mismatched), rep.Clusters, rep.Mismatched[0])
+	}
+	return rep, nil
+}
+
+// deriveSpec clones the marshaled base spec and gives clone i its own
+// name and seed.
+func deriveSpec(base []byte, baseName string, i int, stride int64) (*scenario.Spec, error) {
+	spec, err := scenario.Load(bytes.NewReader(base))
+	if err != nil {
+		return nil, fmt.Errorf("driver: re-parsing base spec: %w", err)
+	}
+	spec.Name = fmt.Sprintf("%s-%04d", baseName, i)
+	spec.Seed += int64(i) * stride
+	return spec, nil
+}
+
+// whatIfProbe scores two perturbed candidates: the equal-weight default
+// and one skewed toward the first tenant — a cheap, always-valid probe
+// shape for any scenario.
+func whatIfProbe(client *http.Client, baseURL, id string, spec *scenario.Spec) error {
+	names := spec.TenantNames()
+	skew := map[string]scenario.TenantConfigSpec{names[0]: {Weight: 4}}
+	body, err := json.Marshal(WhatIfRequest{
+		Candidates: []map[string]scenario.TenantConfigSpec{{}, skew},
+	})
+	if err != nil {
+		return err
+	}
+	var resp WhatIfResponse
+	return call(client, http.MethodPost, baseURL+"/clusters/"+id+"/whatif", body, &resp)
+}
+
+// eachIndex runs fn(0..n-1) across workers goroutines, stopping at the
+// first error.
+func eachIndex(workers, n int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var stop atomic.Bool
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					stop.Store(true)
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// throttle is a token bucket pacing tick requests at rate per second.
+type throttle struct {
+	tokens chan struct{}
+	done   chan struct{}
+}
+
+func newThrottle(rate float64) *throttle {
+	t := &throttle{done: make(chan struct{})}
+	if rate <= 0 {
+		return t
+	}
+	t.tokens = make(chan struct{}, 1)
+	interval := time.Duration(float64(time.Second) / rate)
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-t.done:
+				return
+			case <-tick.C:
+				select {
+				case t.tokens <- struct{}{}:
+				default:
+				}
+			}
+		}
+	}()
+	return t
+}
+
+func (t *throttle) wait() {
+	if t.tokens != nil {
+		<-t.tokens
+	}
+}
+
+func (t *throttle) stop() { close(t.done) }
+
+// call issues one JSON request and decodes the response into out.
+func call(client *http.Client, method, url string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%s %s: %s: %s", method, url, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("%s %s: decoding response: %w", method, url, err)
+		}
+	}
+	return nil
+}
+
+// fetchRaw GETs a URL and returns the raw response bytes.
+func fetchRaw(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	return raw, nil
+}
+
+func mustMarshal(spec *scenario.Spec) json.RawMessage {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		// A spec that round-tripped through scenario.Load cannot fail to
+		// marshal; this is unreachable.
+		panic(err)
+	}
+	return b
+}
+
+// smallSpecJSON is the builtin load-generation preset: a two-tenant
+// replay scenario with the controller on, sized so one cluster's full run
+// is a few milliseconds — throughput measurements then exercise the
+// service machinery, not one giant emulation.
+const smallSpecJSON = `{
+  "name": "loadgen-small",
+  "description": "Builtin loadgen preset: two-tenant replay scenario, controller on, three 5-minute intervals.",
+  "seed": 4242,
+  "capacity": 8,
+  "interval_minutes": 5,
+  "iterations": 3,
+  "replay": true,
+  "tenants": [
+    {"name": "deadline", "profile": "deadline-driven", "scale": 0.4,
+     "deadline": {"factor_lo": 1.2, "factor_hi": 1.8}},
+    {"name": "besteffort", "profile": "best-effort", "scale": 0.4}
+  ],
+  "slos": [
+    {"queue": "deadline", "metric": "deadline_violations", "slack": 0.25, "target": 0},
+    {"queue": "besteffort", "metric": "avg_response_time"}
+  ],
+  "initial": {},
+  "controller": {"candidates": 3, "max_step": 0.2}
+}`
+
+// SmallSpec returns the builtin load-generation preset scenario.
+func SmallSpec() (*scenario.Spec, error) {
+	return scenario.Load(strings.NewReader(smallSpecJSON))
+}

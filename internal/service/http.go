@@ -1,0 +1,337 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"tempo"
+	"tempo/internal/scenario"
+)
+
+// Handler returns the service's HTTP/JSON API:
+//
+//	POST   /clusters              create a cluster from a scenario spec
+//	GET    /clusters              list resident cluster ids
+//	GET    /clusters/{id}         cluster status
+//	DELETE /clusters/{id}         drop a cluster
+//	POST   /clusters/{id}/tick    run one control-loop tick (serialized per cluster)
+//	GET    /clusters/{id}/qs      windowed QS query (?from=30m&to=1h30m)
+//	POST   /clusters/{id}/whatif  score candidate RM configurations
+//	GET    /clusters/{id}/report  canonical scenario report (bit-reproducible)
+//	GET    /healthz               liveness
+//	GET    /metrics               JSON counters (ticks, what-if evals, per-shard latency quantiles)
+//
+// All bodies are JSON; errors are {"error": "..."} with conventional
+// status codes (400 malformed input, 404 unknown cluster, 409 conflicts,
+// 503 shutting down).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /clusters", s.handleCreate)
+	mux.HandleFunc("GET /clusters", s.handleList)
+	mux.HandleFunc("GET /clusters/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /clusters/{id}", s.handleDelete)
+	mux.HandleFunc("POST /clusters/{id}/tick", s.handleTick)
+	mux.HandleFunc("GET /clusters/{id}/qs", s.handleQS)
+	mux.HandleFunc("POST /clusters/{id}/whatif", s.handleWhatIf)
+	mux.HandleFunc("GET /clusters/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection is gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// errStatus maps service errors to HTTP status codes.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrExists):
+		return http.StatusConflict
+	case errors.Is(err, tempo.ErrSessionDone):
+		return http.StatusConflict
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// CreateRequest is the POST /clusters body: a scenario spec plus an
+// optional id (empty id defaults to the spec's name).
+type CreateRequest struct {
+	ID   string          `json:"id,omitempty"`
+	Spec json.RawMessage `json:"spec"`
+}
+
+// CreateResponse echoes the registration.
+type CreateResponse struct {
+	ID         string `json:"id"`
+	Shard      int    `json:"shard"`
+	Tenants    int    `json:"tenants"`
+	Iterations int    `json:"iterations"`
+}
+
+func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Spec) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("missing scenario spec"))
+		return
+	}
+	spec, err := scenario.Load(bytes.NewReader(req.Spec))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	c, err := s.Create(req.ID, spec)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, CreateResponse{
+		ID:         c.ID,
+		Shard:      c.Shard,
+		Tenants:    len(spec.TenantNames()),
+		Iterations: spec.Iterations,
+	})
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"clusters": s.List()})
+}
+
+// StatusResponse is one cluster's GET /clusters/{id} view.
+type StatusResponse struct {
+	ID         string `json:"id"`
+	Shard      int    `json:"shard"`
+	Ticks      int    `json:"ticks"`
+	Iterations int    `json:"iterations"`
+	Done       bool   `json:"done"`
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, StatusResponse{
+		ID:         c.ID,
+		Shard:      c.Shard,
+		Ticks:      c.Session.Ticks(),
+		Iterations: c.Session.Spec().Iterations,
+		Done:       c.Session.Done(),
+	})
+}
+
+func (s *Service) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.Delete(r.PathValue("id")); err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// TickResponse is one completed control interval.
+type TickResponse struct {
+	Iteration int       `json:"iteration"`
+	Observed  []float64 `json:"observed"`
+	Switched  bool      `json:"switched"`
+	Reverted  bool      `json:"reverted"`
+	Done      bool      `json:"done"`
+}
+
+func (s *Service) handleTick(w http.ResponseWriter, r *http.Request) {
+	c, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	it, done, err := s.Tick(c)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TickResponse{
+		Iteration: it.Index,
+		Observed:  it.Observed,
+		Switched:  it.Switched,
+		Reverted:  it.Reverted,
+		Done:      done,
+	})
+}
+
+// QSWindow is the wire form of one interval's windowed QS slice.
+type QSWindow struct {
+	Iteration int       `json:"iteration"`
+	From      string    `json:"from"`
+	To        string    `json:"to"`
+	Values    []float64 `json:"values"`
+}
+
+// QSResponse answers GET /clusters/{id}/qs.
+type QSResponse struct {
+	Objectives []string   `json:"objectives"`
+	Windows    []QSWindow `json:"windows"`
+}
+
+func (s *Service) handleQS(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	from, err := parseWindowBound(r.URL.Query().Get("from"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed from: %w", err))
+		return
+	}
+	to, err := parseWindowBound(r.URL.Query().Get("to"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed to: %w", err))
+		return
+	}
+	c, err := s.Get(id)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	windows, err := s.QS(c, from, to)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	resp := QSResponse{Objectives: c.Session.Objectives(), Windows: []QSWindow{}}
+	for _, win := range windows {
+		resp.Windows = append(resp.Windows, QSWindow{
+			Iteration: win.Iteration,
+			From:      win.From.String(),
+			To:        win.To.String(),
+			Values:    win.Values,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseWindowBound parses a qs window bound: empty means 0 (from) /
+// everything-so-far (to); otherwise a Go duration string like "90m".
+func parseWindowBound(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return time.ParseDuration(s)
+}
+
+// WhatIfRequest scores candidate RM configurations. Each candidate maps
+// tenant name -> parameters (the scenario spec's initial-config format);
+// tenants left out keep weight 1 with no limits. Capacity 0 means the
+// scenario's capacity.
+type WhatIfRequest struct {
+	Capacity   int                                    `json:"capacity,omitempty"`
+	Candidates []map[string]scenario.TenantConfigSpec `json:"candidates"`
+}
+
+// WhatIfResponse carries one predicted QS vector per candidate, in order.
+type WhatIfResponse struct {
+	Objectives []string    `json:"objectives"`
+	Results    [][]float64 `json:"results"`
+}
+
+func (s *Service) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req WhatIfRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	c, err := s.Get(id)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	if len(req.Candidates) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no candidate configurations"))
+		return
+	}
+	spec := c.Session.Spec()
+	capacity := req.Capacity
+	if capacity == 0 {
+		capacity = spec.Capacity
+	}
+	names := spec.TenantNames()
+	cfgs := make([]tempo.ClusterConfig, 0, len(req.Candidates))
+	for i, cand := range req.Candidates {
+		init := scenario.InitialSpec{Tenants: cand}
+		cfg, err := init.Config(capacity, names)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("candidate %d: %w", i, err))
+			return
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	rows, err := s.WhatIf(c, cfgs)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, WhatIfResponse{Objectives: c.Session.Objectives(), Results: rows})
+}
+
+func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
+	c, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	b, err := c.Session.Report().MarshalCanonical()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b) //nolint:errcheck // the connection is gone; nothing to do
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	clusters := len(s.clusters)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"clusters":       clusters,
+		"shards":         len(s.shards),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// decodeBody parses a JSON request body, rejecting unknown fields and
+// trailing garbage so client typos fail loudly.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("trailing data after request body")
+	}
+	return nil
+}

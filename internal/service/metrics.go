@@ -1,0 +1,62 @@
+package service
+
+import "time"
+
+// Metrics is the service-wide counter snapshot GET /metrics serves.
+type Metrics struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Clusters      int            `json:"clusters"`
+	Ticks         int64          `json:"ticks"`
+	WhatIfEvals   int64          `json:"whatif_evals"`
+	QSQueries     int64          `json:"qs_queries"`
+	Shards        []ShardMetrics `json:"shards"`
+}
+
+// ShardMetrics is one shard's slice of the snapshot. Tick latencies are
+// quantiles over the shard's recent-latency window; they are zero until
+// the shard has completed a tick.
+type ShardMetrics struct {
+	Shard            int     `json:"shard"`
+	Clusters         int     `json:"clusters"`
+	Workers          int     `json:"workers"`
+	QueueLength      int     `json:"queue_length"`
+	Ticks            int64   `json:"ticks"`
+	WhatIfEvals      int64   `json:"whatif_evals"`
+	TickLatencyP50Ms float64 `json:"tick_latency_p50_ms"`
+	TickLatencyP99Ms float64 `json:"tick_latency_p99_ms"`
+}
+
+// Metrics snapshots the service's counters. Counters are read without a
+// global pause, so the snapshot is approximate under concurrent traffic —
+// each individual counter is still exact.
+func (s *Service) Metrics() Metrics {
+	m := Metrics{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		QSQueries:     s.qsQueries.get(),
+		WhatIfEvals:   s.whatifEvals.get(),
+	}
+	perShard := make([]int, len(s.shards))
+	s.mu.RLock()
+	m.Clusters = len(s.clusters)
+	for _, c := range s.clusters {
+		perShard[c.Shard]++
+	}
+	s.mu.RUnlock()
+	for i, sh := range s.shards {
+		sm := ShardMetrics{
+			Shard:       i,
+			Clusters:    perShard[i],
+			Workers:     s.cfg.WorkersPerShard,
+			QueueLength: len(sh.jobs),
+			Ticks:       sh.ticks.get(),
+			WhatIfEvals: sh.whatifEvals.get(),
+		}
+		if p50, p99, ok := sh.lat.quantiles(); ok {
+			sm.TickLatencyP50Ms = float64(p50) / float64(time.Millisecond)
+			sm.TickLatencyP99Ms = float64(p99) / float64(time.Millisecond)
+		}
+		m.Ticks += sm.Ticks
+		m.Shards = append(m.Shards, sm)
+	}
+	return m
+}

@@ -1,0 +1,259 @@
+// Package service is tempod's sharded multi-cluster control plane: a
+// long-running daemon core that hosts many independent tenant clusters
+// (tempo.Session instances — each with its own workload, controller, QS
+// accumulators, and What-if Model) concurrently.
+//
+// Clusters are pinned to shards by an FNV hash of their id. Each shard
+// owns a fixed worker pool that drives control-loop ticks: tick requests
+// enqueue on the owning shard and a worker executes them, so the tick
+// concurrency of the whole process is bounded by shards × workers no
+// matter how many clusters are resident or how many requests are in
+// flight. Ticks on one cluster serialize (the Session enforces it; the
+// shard queue orders it), while ticks on different clusters proceed in
+// parallel across workers and shards.
+//
+// The HTTP/JSON API (see Handler) exposes cluster creation from a
+// declarative scenario spec, ticks, windowed QS queries served off the
+// incremental accumulators, what-if candidate scoring, canonical reports,
+// and liveness/metrics endpoints. Determinism survives the sharding:
+// a cluster driven through the service produces a report byte-identical
+// to the same spec run sequentially by scenario.Run — cmd/loadgen asserts
+// exactly that under concurrent traffic.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"tempo"
+)
+
+// Config sizes the control plane.
+type Config struct {
+	// Shards is the number of cluster shards; 0 means 4.
+	Shards int
+	// WorkersPerShard is each shard's tick worker-pool size; 0 means 2.
+	WorkersPerShard int
+	// QueueDepth is each shard's pending-tick queue capacity; 0 means 64.
+	// Enqueues beyond it block the caller (backpressure), they are never
+	// dropped.
+	QueueDepth int
+	// Parallelism caps every hosted cluster's what-if worker pool; 0 means
+	// 1. The default is deliberate: the service's parallelism comes from
+	// driving many clusters at once, and per-cluster fan-out on top of
+	// shard workers would oversubscribe the host. Results are
+	// bit-identical for every setting.
+	Parallelism int
+	// LatencyWindow is how many recent tick latencies each shard retains
+	// for the p50/p99 metrics; 0 means 1024.
+	LatencyWindow int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.WorkersPerShard <= 0 {
+		c.WorkersPerShard = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 1
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 1024
+	}
+	return c
+}
+
+// ErrClosed is returned for operations on a closed service.
+var ErrClosed = errors.New("service: closed")
+
+// ErrNotFound is returned for operations naming an unknown cluster id.
+var ErrNotFound = errors.New("service: unknown cluster")
+
+// ErrExists is returned when creating a cluster under a taken id.
+var ErrExists = errors.New("service: cluster id already exists")
+
+// Service hosts many tenant clusters across a fixed set of shards.
+type Service struct {
+	cfg    Config
+	start  time.Time
+	shards []*shard
+	quit   chan struct{}
+
+	mu       sync.RWMutex
+	clusters map[string]*Cluster
+	closed   bool
+
+	qsQueries   counter
+	whatifEvals counter
+}
+
+// Cluster is one hosted tenant cluster: a Session pinned to a shard.
+type Cluster struct {
+	ID      string
+	Shard   int
+	Session *tempo.Session
+	Created time.Time
+}
+
+// New starts a control plane with the given sizing (zero fields take
+// defaults). Close it to stop the shard workers.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:      cfg,
+		start:    time.Now(),
+		quit:     make(chan struct{}),
+		clusters: map[string]*Cluster{},
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, newShard(i, cfg, s.quit))
+	}
+	return s
+}
+
+// Close stops every shard worker and rejects further operations. Ticks
+// already queued but not yet picked up fail with ErrClosed.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.quit)
+	for _, sh := range s.shards {
+		sh.wait()
+	}
+}
+
+// shardFor pins a cluster id to a shard: FNV-1a over the id, mod shards.
+// The pin is a pure function of the id, so a cluster keeps its shard (and
+// its metrics attribution) for its whole life.
+func (s *Service) shardFor(id string) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// Create builds a cluster from the scenario spec and registers it under
+// id (empty id defaults to the spec name).
+func (s *Service) Create(id string, spec *tempo.Scenario) (*Cluster, error) {
+	if id == "" {
+		id = spec.Name
+	}
+	// Cheap pre-checks before paying for the session build (workload
+	// synthesis, controller wiring): a retrying client hitting ErrExists
+	// must not cost a full scenario Build per attempt. The authoritative
+	// check is repeated under the write lock below.
+	s.mu.RLock()
+	_, taken := s.clusters[id]
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if taken {
+		return nil, fmt.Errorf("%w: %s", ErrExists, id)
+	}
+	sess, err := tempo.NewSession(spec, tempo.ScenarioOptions{Parallelism: s.cfg.Parallelism})
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{ID: id, Shard: s.shardFor(id), Session: sess, Created: time.Now()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := s.clusters[id]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, id)
+	}
+	s.clusters[id] = c
+	return c, nil
+}
+
+// Get returns the cluster registered under id.
+func (s *Service) Get(id string) (*Cluster, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	c, ok := s.clusters[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return c, nil
+}
+
+// Delete unregisters the cluster. In-flight ticks finish; the session is
+// simply dropped.
+func (s *Service) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.clusters[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	delete(s.clusters, id)
+	return nil
+}
+
+// List returns the resident cluster ids, sorted.
+func (s *Service) List() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.clusters))
+	for id := range s.clusters {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tick schedules one control-loop tick for the cluster on its shard's
+// worker pool and waits for the result. Concurrent Ticks on one cluster
+// are serialized; Ticks on different clusters run in parallel up to the
+// pool sizes. done reports whether the cluster's iteration budget is now
+// exhausted — read from the same session that ticked, so it cannot race
+// with registry changes.
+func (s *Service) Tick(c *Cluster) (it tempo.ScenarioIteration, done bool, err error) {
+	it, err = s.shards[c.Shard].tick(c)
+	if err != nil {
+		return tempo.ScenarioIteration{}, false, err
+	}
+	return it, c.Session.Done(), nil
+}
+
+// QS answers a windowed QS query for the cluster (see tempo.Session.QS).
+func (s *Service) QS(c *Cluster, from, to time.Duration) ([]tempo.WindowQS, error) {
+	windows, err := c.Session.QS(from, to)
+	if err != nil {
+		return nil, err
+	}
+	s.qsQueries.add(1)
+	return windows, nil
+}
+
+// WhatIf scores candidate configurations in the cluster's What-if Model.
+func (s *Service) WhatIf(c *Cluster, cfgs []tempo.ClusterConfig) ([][]float64, error) {
+	rows, err := c.Session.WhatIf(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	s.whatifEvals.add(int64(len(cfgs)))
+	s.shards[c.Shard].whatifEvals.add(int64(len(cfgs)))
+	return rows, nil
+}

@@ -1,0 +1,140 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tempo"
+)
+
+// counter is a cheap concurrent event counter.
+type counter struct{ n atomic.Int64 }
+
+func (c *counter) add(d int64) { c.n.Add(d) }
+func (c *counter) get() int64  { return c.n.Load() }
+
+// tickJob is one queued control-loop tick; the worker answers on reply.
+type tickJob struct {
+	cluster *Cluster
+	reply   chan tickResult
+}
+
+type tickResult struct {
+	it  tempo.ScenarioIteration
+	err error
+}
+
+// shard owns a slice of the cluster population: a bounded tick queue and
+// a fixed worker pool draining it. The pool size bounds the shard's tick
+// concurrency regardless of resident clusters or in-flight requests.
+type shard struct {
+	idx  int
+	jobs chan tickJob
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	ticks       counter
+	whatifEvals counter
+	lat         latencyRing
+}
+
+func newShard(idx int, cfg Config, quit chan struct{}) *shard {
+	sh := &shard{
+		idx:  idx,
+		jobs: make(chan tickJob, cfg.QueueDepth),
+		quit: quit,
+	}
+	sh.lat.init(cfg.LatencyWindow)
+	sh.wg.Add(cfg.WorkersPerShard)
+	for i := 0; i < cfg.WorkersPerShard; i++ {
+		go sh.worker()
+	}
+	return sh
+}
+
+func (sh *shard) wait() { sh.wg.Wait() }
+
+// tick enqueues one tick for the cluster and waits for a worker to run
+// it. A full queue applies backpressure (the caller blocks); a closed
+// service fails the call instead of hanging.
+func (sh *shard) tick(c *Cluster) (tempo.ScenarioIteration, error) {
+	job := tickJob{cluster: c, reply: make(chan tickResult, 1)}
+	select {
+	case sh.jobs <- job:
+	case <-sh.quit:
+		return tempo.ScenarioIteration{}, ErrClosed
+	}
+	select {
+	case res := <-job.reply:
+		return res.it, res.err
+	case <-sh.quit:
+		return tempo.ScenarioIteration{}, ErrClosed
+	}
+}
+
+func (sh *shard) worker() {
+	defer sh.wg.Done()
+	for {
+		select {
+		case <-sh.quit:
+			return
+		case job := <-sh.jobs:
+			start := time.Now()
+			it, err := job.cluster.Session.Tick()
+			if err == nil {
+				sh.ticks.add(1)
+				sh.lat.record(time.Since(start))
+			}
+			job.reply <- tickResult{it: it, err: err}
+		}
+	}
+}
+
+// latencyRing retains the most recent tick latencies for quantile
+// estimation. Fixed capacity: a long-running daemon's metrics must not
+// grow with tick count, and recent samples are the ones operators care
+// about.
+type latencyRing struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	next    int
+	full    bool
+}
+
+func (r *latencyRing) init(window int) {
+	r.samples = make([]time.Duration, window)
+}
+
+func (r *latencyRing) record(d time.Duration) {
+	r.mu.Lock()
+	r.samples[r.next] = d
+	r.next++
+	if r.next == len(r.samples) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// quantiles returns the p50 and p99 of the retained window (nearest-rank
+// on the sorted copy), or zeros with ok=false when no tick has completed.
+func (r *latencyRing) quantiles() (p50, p99 time.Duration, ok bool) {
+	r.mu.Lock()
+	n := r.next
+	if r.full {
+		n = len(r.samples)
+	}
+	buf := append([]time.Duration(nil), r.samples[:n]...)
+	r.mu.Unlock()
+	if len(buf) == 0 {
+		return 0, 0, false
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	rank := func(q float64) time.Duration {
+		i := int(q * float64(len(buf)-1))
+		return buf[i]
+	}
+	return rank(0.50), rank(0.99), true
+}

@@ -1,0 +1,238 @@
+package tempo
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"tempo/internal/qs"
+	"tempo/internal/scenario"
+	"tempo/internal/whatif"
+)
+
+// Declarative scenarios (internal/scenario), re-exported so serving-layer
+// callers depend on the root package only.
+type (
+	// Scenario declaratively describes one multi-tenant cluster: tenants
+	// (statistical profile presets), arrival processes, SLO templates, the
+	// initial RM configuration, mid-run capacity changes, and a controller
+	// toggle. Load one from JSON with LoadScenario.
+	Scenario = scenario.Spec
+	// ScenarioOptions are runtime knobs that do not change a scenario's
+	// trajectory (what-if parallelism, strategy overrides).
+	ScenarioOptions = scenario.Options
+	// ScenarioReport is the canonical, bit-reproducible record of a
+	// scenario run.
+	ScenarioReport = scenario.Report
+	// ScenarioIteration is one control interval's slice of the report.
+	ScenarioIteration = scenario.IterationReport
+)
+
+// LoadScenario parses and validates a scenario spec from r. Unknown fields
+// are rejected so typos fail loudly.
+func LoadScenario(r io.Reader) (*Scenario, error) { return scenario.Load(r) }
+
+// LoadScenarioFile reads and validates a scenario spec from path.
+func LoadScenarioFile(path string) (*Scenario, error) { return scenario.LoadFile(path) }
+
+// ErrSessionDone is returned by Session.Tick once the scenario's iteration
+// budget is exhausted.
+var ErrSessionDone = scenario.ErrDone
+
+// Session is a live, tick-at-a-time handle on one tenant cluster's control
+// loop — the unit the tempod serving layer hosts many of. Where
+// scenario.Run drives a spec to completion in one call, a Session exposes
+// the same machinery incrementally:
+//
+//   - Tick runs one control interval (observe → guard → propose → what-if
+//     → apply, or observe-only when the spec disables the controller);
+//   - QS answers windowed SLO queries over everything observed so far,
+//     served from per-interval incremental accumulators;
+//   - WhatIf scores candidate RM configurations in the scenario's What-if
+//     Model without touching the control loop's state;
+//   - Report assembles the canonical run report.
+//
+// Determinism survives the slicing: after the final Tick, Report returns
+// byte-for-byte the report scenario.Run produces for the same spec, for
+// any interleaving of QS and WhatIf calls in between. All methods are safe
+// for concurrent use; concurrent Ticks serialize, each advancing exactly
+// one interval.
+type Session struct {
+	mu          sync.Mutex
+	rt          *scenario.Runtime
+	parallelism int
+
+	// accs caches one sealed QS accumulator per completed interval, built
+	// lazily on the first window query that touches the interval.
+	accs map[int]*Accumulator
+	// model is the lazily built What-if Model serving WhatIf queries; it is
+	// deliberately distinct from the controller's own model so probe
+	// traffic cannot perturb (or contend with) the control loop.
+	model *whatif.Model
+}
+
+// NewSession builds a live cluster from a validated scenario spec without
+// running it: the workload is synthesized and the controller positioned at
+// the initial configuration, ready for the first Tick.
+func NewSession(spec *Scenario, opts ScenarioOptions) (*Session, error) {
+	rt, err := scenario.Build(spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{rt: rt, parallelism: opts.Parallelism, accs: map[int]*Accumulator{}}, nil
+}
+
+// Spec returns the scenario the session was built from.
+func (s *Session) Spec() *Scenario { return s.rt.Spec }
+
+// Interval returns the control interval L.
+func (s *Session) Interval() time.Duration { return s.rt.Interval }
+
+// Ticks returns how many control intervals have run.
+func (s *Session) Ticks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rt.StepsDone()
+}
+
+// Done reports whether the scenario's iteration budget is exhausted.
+func (s *Session) Done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rt.Done()
+}
+
+// Tick runs one control interval and returns its report slice. It returns
+// ErrSessionDone after Spec.Iterations ticks.
+func (s *Session) Tick() (ScenarioIteration, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rt.Step()
+}
+
+// Current returns the RM configuration the next interval will run under.
+func (s *Session) Current() ClusterConfig {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rt.Controller != nil {
+		return s.rt.Controller.Current()
+	}
+	return s.rt.Initial.Clone()
+}
+
+// Report assembles the canonical report over the intervals run so far;
+// after the final Tick it is byte-identical to scenario.Run's.
+func (s *Session) Report() *ScenarioReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rt.Report()
+}
+
+// WindowQS is one interval's slice of a windowed QS query: the QS vector
+// of the schedule observed in interval Iteration, evaluated over the
+// session-time window [From, To) clipped to that interval.
+type WindowQS struct {
+	// Iteration indexes the control interval.
+	Iteration int `json:"iteration"`
+	// From and To are the clipped window bounds in session time (time 0 is
+	// the start of interval 0).
+	From time.Duration `json:"from"`
+	To   time.Duration `json:"to"`
+	// Values is the QS vector, one entry per scenario SLO in spec order.
+	Values []float64 `json:"values"`
+}
+
+// QS evaluates the scenario's SLO templates over the session-time window
+// [from, to), answering from per-interval incremental accumulators
+// (internal/qs) that ingest each observed schedule's event stream once and
+// then serve arbitrary sub-windows. The result holds one entry per
+// completed interval the window intersects; a window covering an interval
+// entirely reproduces that interval's Observed vector exactly. to <= 0
+// means "everything observed so far".
+func (s *Session) QS(from, to time.Duration) ([]WindowQS, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	interval := s.rt.Interval
+	done := s.rt.StepsDone()
+	if to <= 0 {
+		// "Everything observed so far". A from beyond the observed horizon
+		// is a valid ask with an empty answer, not an invalid window.
+		to = max(time.Duration(done)*interval, from)
+	}
+	if from < 0 || to < from {
+		return nil, fmt.Errorf("tempo: invalid QS window [%v, %v)", from, to)
+	}
+	first := int(from / interval)
+	out := []WindowQS{}
+	for i := first; i < done; i++ {
+		lo := time.Duration(i) * interval
+		hi := lo + interval
+		if lo >= to {
+			break
+		}
+		sched := s.rt.ObservedSchedule(i)
+		if sched == nil {
+			break
+		}
+		localFrom := max(from, lo) - lo
+		localTo := min(to, hi) - lo
+		// A query covering the interval's full window means "this whole
+		// observation": extend the half-open bound past the schedule horizon
+		// so records ending exactly at the horizon count, matching the
+		// convention the control loop evaluates Observed with.
+		if localTo >= interval {
+			localTo = sched.Horizon + time.Nanosecond
+		}
+		acc := s.accs[i]
+		if acc == nil {
+			acc = qs.Accumulate(s.rt.Templates, sched)
+			s.accs[i] = acc
+		}
+		out = append(out, WindowQS{
+			Iteration: i,
+			From:      lo + localFrom,
+			To:        lo + min(localTo, interval),
+			Values:    acc.Values(localFrom, localTo),
+		})
+	}
+	return out, nil
+}
+
+// WhatIf scores candidate RM configurations in the scenario's What-if
+// Model — the same model shape the controller scores its own candidates
+// with, but a private instance, so probes neither mutate nor contend with
+// the control loop. Row i of the result is the QS vector predicted for
+// cfgs[i], one entry per scenario SLO in spec order. Results are
+// deterministic: the same session and candidate always yield the same
+// vector, at any parallelism.
+func (s *Session) WhatIf(cfgs []ClusterConfig) ([][]float64, error) {
+	if len(cfgs) == 0 {
+		return nil, errors.New("tempo: WhatIf needs at least one candidate configuration")
+	}
+	for i := range cfgs {
+		if err := cfgs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("tempo: what-if candidate %d: %w", i, err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.model == nil {
+		m, err := s.rt.NewWhatIfModel(s.parallelism)
+		if err != nil {
+			return nil, err
+		}
+		s.model = m
+	}
+	return s.model.EvaluateBatch(cfgs)
+}
+
+// Objectives names the session's QS vector components, in order.
+func (s *Session) Objectives() []string {
+	names := make([]string, 0, len(s.rt.Templates))
+	for _, t := range s.rt.Templates {
+		names = append(names, t.Name())
+	}
+	return names
+}

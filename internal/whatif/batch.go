@@ -9,6 +9,7 @@ import (
 
 	"tempo/internal/cluster"
 	"tempo/internal/qs"
+	"tempo/internal/workload"
 )
 
 // DefaultParallelism returns the worker count that saturates the host: one
@@ -114,12 +115,29 @@ func (c *evalCache) store(sample int, sched *cluster.Schedule, fp uint64, vals [
 
 // evalPairs scores every (configuration, sample) pair and returns the QS
 // vectors indexed by cfg*samples + sample. Errors are aggregated
-// deterministically: the pair with the lowest flat index wins, which is
-// exactly the error sequential evaluation would have returned first.
+// deterministically, in two tiers: generation errors first (lowest sample
+// wins, attributed to config 0), then prediction errors (the pair with the
+// lowest flat index wins). Both tiers are independent of worker timing.
+//
+// The S sample traces are generated exactly once, up front, and shared
+// (read-only) by all C candidates. Every candidate scores the same sample
+// trace by construction, so regenerating it per (cfg, sample) pair — C×S
+// generations instead of S — was pure waste; in windowed mode each
+// generation is a full synthetic workload draw.
 func (m *Model) evalPairs(cfgs []cluster.Config, samples int) ([][]float64, error) {
 	predict := m.Predict
 	if predict == nil {
 		predict = DefaultPredictor
+	}
+	traces, err := m.genSamples(samples, workersFor(m.Parallelism, samples))
+	if err != nil {
+		// A generation failure hits every candidate at that sample, so the
+		// winning (lowest-sample) error is deterministically attributed to
+		// config 0 and reported before any prediction error.
+		if len(cfgs) > 1 {
+			return nil, fmt.Errorf("whatif: config 0: %w", err)
+		}
+		return nil, fmt.Errorf("whatif: %w", err)
 	}
 	total := len(cfgs) * samples
 	vecs := make([][]float64, total)
@@ -131,34 +149,18 @@ func (m *Model) evalPairs(cfgs []cluster.Config, samples int) ([][]float64, erro
 	}
 	if workers <= 1 {
 		for idx := 0; idx < total; idx++ {
-			vecs[idx], errs[idx] = m.evalSample(predict, cache, cfgs[idx/samples], idx%samples)
+			vecs[idx], errs[idx] = m.evalSample(predict, cache, traces[idx%samples], cfgs[idx/samples], idx%samples)
 			if errs[idx] != nil {
 				break
 			}
 		}
 	} else {
-		// Work-stealing over a shared atomic counter: pairs vary wildly in
-		// cost (candidate configurations change queueing behaviour), so
-		// static striping would leave workers idle. Every pair runs even if
-		// one fails — that keeps the winning error independent of goroutine
-		// timing, and failures are cheap (config validation rejects them
-		// before any simulation work).
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					idx := int(next.Add(1)) - 1
-					if idx >= total {
-						return
-					}
-					vecs[idx], errs[idx] = m.evalSample(predict, cache, cfgs[idx/samples], idx%samples)
-				}
-			}()
-		}
-		wg.Wait()
+		// Every pair runs even if one fails — that keeps the winning error
+		// independent of goroutine timing, and failures are cheap (config
+		// validation rejects them before any simulation work).
+		runIndexed(workers, total, func(idx int) {
+			vecs[idx], errs[idx] = m.evalSample(predict, cache, traces[idx%samples], cfgs[idx/samples], idx%samples)
+		})
 	}
 	for idx, err := range errs {
 		if err != nil {
@@ -171,20 +173,85 @@ func (m *Model) evalPairs(cfgs []cluster.Config, samples int) ([][]float64, erro
 	return vecs, nil
 }
 
+// workersFor clamps the model's parallelism to the item count; values
+// below 2 mean "run on the calling goroutine".
+func workersFor(parallelism, items int) int {
+	if parallelism > items {
+		return items
+	}
+	return parallelism
+}
+
+// runIndexed fans fn(0..n-1) out over a worker pool, work-stealing from a
+// shared atomic counter: items vary wildly in cost (candidate
+// configurations change queueing behaviour; workload draws vary in size),
+// so static striping would leave workers idle. Callers record results and
+// errors by index, which keeps their aggregation order deterministic.
+func runIndexed(workers, n int, fn func(i int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// genSamples draws the batch's sample traces, one per sample index. The
+// traces are shared read-only by every candidate and retained together for
+// the batch's lifetime — fine for the control loop's small sample counts;
+// a Sensitivity sweep over S draws holds S traces at once. Samples are
+// independent, so with workers > 1 they are drawn concurrently; storage is
+// by index and the winning error is the lowest sample's, so the result is
+// identical to sequential generation.
+func (m *Model) genSamples(samples, workers int) ([]*workload.Trace, error) {
+	traces := make([]*workload.Trace, samples)
+	errs := make([]error, samples)
+	genOne := func(s int) {
+		trace, err := m.Gen(s)
+		switch {
+		case err != nil:
+			errs[s] = fmt.Errorf("generating sample %d: %w", s, err)
+		case trace == nil:
+			errs[s] = fmt.Errorf("generating sample %d: generator returned a nil trace", s)
+		default:
+			traces[s] = trace
+		}
+	}
+	if workers <= 1 {
+		for s := 0; s < samples; s++ {
+			genOne(s)
+			if errs[s] != nil {
+				return nil, errs[s]
+			}
+		}
+		return traces, nil
+	}
+	runIndexed(workers, samples, genOne)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return traces, nil
+}
+
 // evalSample scores cfg on one workload sample: it predicts the task
 // schedule, then derives the full QS vector incrementally — the schedule's
 // event stream is built once and shared by every template
 // (qs.EvalStream), instead of one record scan per template. Candidates
 // whose predicted schedule is identical to one already scored for the
 // same sample reuse its vector through the batch's evalCache.
-func (m *Model) evalSample(predict Predictor, cache *evalCache, cfg cluster.Config, sample int) ([]float64, error) {
-	trace, err := m.Gen(sample)
-	if err != nil {
-		return nil, fmt.Errorf("generating sample %d: %w", sample, err)
-	}
-	if trace == nil {
-		return nil, fmt.Errorf("generating sample %d: generator returned a nil trace", sample)
-	}
+func (m *Model) evalSample(predict Predictor, cache *evalCache, trace *workload.Trace, cfg cluster.Config, sample int) ([]float64, error) {
 	sched, err := predict(trace, cfg, m.Horizon)
 	if err != nil {
 		return nil, fmt.Errorf("predicting sample %d: %w", sample, err)

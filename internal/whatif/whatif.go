@@ -19,14 +19,18 @@ import (
 // Generator produces the workload for one what-if sample. Implementations
 // may replay a fixed historical trace (sample index ignored) or synthesize
 // fresh workloads with the same statistical characteristics per sample —
-// the two modes of §7.1.
+// the two modes of §7.1. A batch calls the generator exactly once per
+// sample index and shares the returned trace, read-only, across every
+// candidate configuration; the trace must not be mutated afterwards.
 type Generator func(sample int) (*workload.Trace, error)
 
 // Predictor turns (workload, configuration) into a task schedule. The
 // default is the built-in fast Schedule Predictor; §7.2 notes Tempo can
 // instead drive existing RM simulators (Borg, Apollo, Omega, the YARN
 // Scheduler Load Simulator, ...) — an adapter for such a simulator
-// implements this signature.
+// implements this signature. The trace is shared by every candidate of a
+// batch (and, with Parallelism > 1, by concurrent workers): predictors
+// must treat it as read-only.
 type Predictor func(trace *workload.Trace, cfg cluster.Config, horizon time.Duration) (*cluster.Schedule, error)
 
 // DefaultPredictor is the built-in time-warp Schedule Predictor.

@@ -9,6 +9,7 @@ package tempo_test
 import (
 	"fmt"
 	"net/http/httptest"
+	"runtime"
 	"testing"
 
 	"tempo/internal/benchrec"
@@ -27,15 +28,24 @@ func BenchmarkServiceThroughput(b *testing.B) {
 		verify := clusters <= 100
 		b.Run(fmt.Sprintf("clusters=%d", clusters), func(b *testing.B) {
 			var last *service.DriveReport
+			var allocsPerTick, bytesPerTick float64
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				svc := service.New(service.Config{})
 				ts := httptest.NewServer(svc.Handler())
+				// Capture the serving process's heap traffic across the
+				// drive (server and client share the process; ticks
+				// dominate), normalized per tick so populations compare.
+				runtime.GC()
+				var before, after runtime.MemStats
+				runtime.ReadMemStats(&before)
 				rep, err := service.Drive(ts.URL, service.DriveOptions{
 					Clusters:    clusters,
 					QSEvery:     2,
 					WhatIfEvery: 3,
 					Verify:      verify,
 				})
+				runtime.ReadMemStats(&after)
 				ts.Close()
 				svc.Close()
 				if err != nil {
@@ -45,9 +55,12 @@ func BenchmarkServiceThroughput(b *testing.B) {
 					b.Fatalf("only %d/%d cluster reports verified", rep.Verified, clusters)
 				}
 				last = rep
+				allocsPerTick = float64(after.Mallocs-before.Mallocs) / float64(rep.Ticks)
+				bytesPerTick = float64(after.TotalAlloc-before.TotalAlloc) / float64(rep.Ticks)
 			}
 			b.ReportMetric(last.TicksPerSec, "ticks/sec")
 			b.ReportMetric(last.ClustersDone, "clusters/sec")
+			b.ReportMetric(allocsPerTick, "allocs/tick")
 			benchrec.Record(fmt.Sprintf("ServiceThroughput/clusters=%d", clusters), map[string]float64{
 				"clusters":         float64(last.Clusters),
 				"ticks":            float64(last.Ticks),
@@ -57,6 +70,8 @@ func BenchmarkServiceThroughput(b *testing.B) {
 				"wall_ns":          last.WallSeconds * 1e9,
 				"ticks_per_sec":    last.TicksPerSec,
 				"clusters_per_sec": last.ClustersDone,
+				"allocs_per_op":    allocsPerTick,
+				"bytes_per_op":     bytesPerTick,
 			})
 		})
 	}

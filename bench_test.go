@@ -12,7 +12,9 @@ package tempo
 
 import (
 	"fmt"
+	"math"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -364,6 +366,7 @@ func BenchmarkWhatIfBatch(b *testing.B) {
 	for _, par := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
 			model.Parallelism = par
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				got, err := model.EvaluateBatch(cfgs)
 				if err != nil {
@@ -379,7 +382,59 @@ func BenchmarkWhatIfBatch(b *testing.B) {
 			}
 		})
 	}
+
+	// Allocation baseline for the batch path (BENCH_5): the pooled default
+	// against the same batch scored through fresh, single-use arenas — the
+	// cost the pre-pooling code paid per run and a custom Predictor still
+	// pays today. Sequential workers so MemStats deltas are attributable.
+	model.Parallelism = 1
+	allocs, bytes := measureAllocs(3, func() {
+		if _, err := model.EvaluateBatch(cfgs); err != nil {
+			b.Fatal(err)
+		}
+	})
+	unpooled := *model
+	unpooled.Parallelism = 1
+	unpooled.Predict = func(trace *workload.Trace, cfg cluster.Config, horizon time.Duration) (*cluster.Schedule, error) {
+		sm := cluster.NewSim() // fresh arena per run: nothing is recycled
+		sched, err := sm.RunInto(trace, cfg, cluster.Options{Horizon: horizon})
+		sm.Detach()
+		return sched, err
+	}
+	allocsUnpooled, bytesUnpooled := measureAllocs(3, func() {
+		if _, err := unpooled.EvaluateBatch(cfgs); err != nil {
+			b.Fatal(err)
+		}
+	})
+	reduction := allocsUnpooled / math.Max(allocs, 1)
+	wallNs := minDuration(3, func() {
+		if _, err := model.EvaluateBatch(cfgs); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ReportMetric(allocs, "pooled-allocs/batch")
+	b.ReportMetric(allocsUnpooled, "unpooled-allocs/batch")
+	recordBench("WhatIfBatch", map[string]float64{
+		"configs":                 float64(len(cfgs)),
+		"wall_ns":                 float64(wallNs.Nanoseconds()),
+		"allocs_per_op":           allocs,
+		"bytes_per_op":            bytes,
+		"allocs_per_op_unpooled":  allocsUnpooled,
+		"bytes_per_op_unpooled":   bytesUnpooled,
+		"alloc_reduction_pooling": reduction,
+		"allocs_per_op_pr4":       whatIfBatchAllocsPR4,
+		"alloc_reduction_vs_pr4":  whatIfBatchAllocsPR4 / math.Max(allocs, 1),
+	})
 }
+
+// whatIfBatchAllocsPR4 is this benchmark's allocs/op (go test -benchmem,
+// parallelism=1) measured at the PR-4 head (commit 594ea2e) — before the
+// arena/pooling work — on the machine that recorded BENCH_5.json. It is a
+// fixed historical reference, like the paper's 150k tasks/sec: recording
+// it beside the live allocs_per_op keeps the end-to-end reduction visible
+// in every future baseline, not just this PR's diff. See EXPERIMENTS.md
+// ("Reading BENCH_5.json").
+const whatIfBatchAllocsPR4 = 53274.0
 
 // recordBench stores one benchmark's headline metrics for TEMPO_BENCH_OUT.
 func recordBench(name string, metrics map[string]float64) {
@@ -464,6 +519,24 @@ func minDuration(reps int, fn func()) time.Duration {
 	return best
 }
 
+// measureAllocs runs fn reps times and returns the mean heap allocations
+// and bytes per run, from runtime.MemStats deltas. Unlike
+// testing.AllocsPerRun it also reports bytes and does not pin GOMAXPROCS;
+// the evaluated paths are deterministic, so the counts are stable enough
+// for a tolerance-gated baseline (cmd/benchdiff).
+func measureAllocs(reps int, fn func()) (allocsPerOp, bytesPerOp float64) {
+	fn() // warm caches and pools so steady state is what's measured
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(reps),
+		float64(after.TotalAlloc-before.TotalAlloc) / float64(reps)
+}
+
 // BenchmarkQSIncremental pits the incremental QS path against the
 // full-recompute oracle on the stress tier: a 1000-tenant schedule scored
 // under ~4000 templates, the shape the paper's handful-of-tenants protocol
@@ -491,6 +564,7 @@ func BenchmarkQSIncremental(b *testing.B) {
 			incrNs, oracleNs, len(templates), len(sched.Jobs), len(sched.Tasks))
 	}
 	speedup := float64(oracleNs) / float64(incrNs)
+	allocs, bytes := measureAllocs(3, func() { qs.EvalStream(templates, sched, 0, end) })
 	b.ReportMetric(speedup, "speedup")
 	b.ReportMetric(float64(oracleNs.Nanoseconds()), "oracle-ns")
 	b.ReportMetric(float64(incrNs.Nanoseconds()), "incremental-ns")
@@ -502,7 +576,10 @@ func BenchmarkQSIncremental(b *testing.B) {
 		"oracle_ns":      float64(oracleNs.Nanoseconds()),
 		"incremental_ns": float64(incrNs.Nanoseconds()),
 		"speedup":        speedup,
+		"allocs_per_op":  allocs,
+		"bytes_per_op":   bytes,
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		qs.EvalStream(templates, sched, 0, end)

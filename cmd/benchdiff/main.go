@@ -12,7 +12,17 @@
 //
 //   - deterministic counts (tenants, jobs, ticks, verified, …) must match
 //     exactly — any drift is a behavioural change, not noise;
-//   - machine-independent ratios (speedup) gate at -tolerance;
+//   - machine-independent ratios (speedup, alloc_reduction_*) gate at
+//     -tolerance;
+//   - allocation metrics (allocs_per_op / bytes_per_op and their
+//     *_unpooled twins, lower-better) gate at -alloc-tolerance: alloc
+//     counts of deterministic code are nearly machine-independent, so
+//     regressions here mean the hot path started churning the heap again,
+//     not that the runner got slower. ServiceThroughput's allocation
+//     metrics are the exception: they are whole-process MemStats over a
+//     concurrent HTTP drive (connection churn, goroutine stacks, GC
+//     assists all vary with runner timing), so they gate at the wider
+//     -time-tolerance instead;
 //   - wall-clock metrics (*_ns lower-better, *_per_sec higher-better)
 //     gate at the wider -time-tolerance, since absolute times move with
 //     runner hardware; refresh the committed baseline from the CI
@@ -54,13 +64,14 @@ func main() {
 		freshPath    = flag.String("fresh", "", "freshly generated BENCH_<pr>.json")
 		tolerance    = flag.Float64("tolerance", 0.25, "allowed relative regression for ratio metrics (0.25 = 25%)")
 		timeTol      = flag.Float64("time-tolerance", 0.5, "allowed relative regression for wall-clock metrics")
+		allocTol     = flag.Float64("alloc-tolerance", 0.25, "allowed relative regression for allocation metrics")
 	)
 	flag.Parse()
 	if *baselinePath == "" || *freshPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -fresh are required")
 		os.Exit(2)
 	}
-	failures, err := diff(os.Stdout, *baselinePath, *freshPath, *tolerance, *timeTol)
+	failures, err := diff(os.Stdout, *baselinePath, *freshPath, *tolerance, *timeTol, *allocTol)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
@@ -77,18 +88,26 @@ type class int
 const (
 	classExact      class = iota
 	classRatio            // higher is better, machine-independent
+	classAllocLower       // lower is better, allocation counts/bytes
 	classTimeLower        // lower is better, wall-clock
 	classTimeHigher       // higher is better, wall-clock
 	classInfo
 )
 
-// classify maps a metric name to its gating class.
-func classify(name string) class {
+// classify maps a (benchmark, metric) pair to its gating class.
+func classify(bench, name string) class {
 	switch {
 	case exactMetrics[name]:
 		return classExact
-	case name == "speedup":
+	case name == "speedup", strings.HasPrefix(name, "alloc_reduction"):
 		return classRatio
+	case strings.HasPrefix(name, "allocs_per_op"), strings.HasPrefix(name, "bytes_per_op"):
+		if strings.HasPrefix(bench, "ServiceThroughput") {
+			// Whole-process MemStats over a concurrent HTTP drive: real
+			// signal, but timing-dependent — gate at the wall-clock band.
+			return classTimeLower
+		}
+		return classAllocLower
 	case strings.HasSuffix(name, "_ns"):
 		return classTimeLower
 	case strings.HasSuffix(name, "_per_sec"):
@@ -98,7 +117,7 @@ func classify(name string) class {
 	}
 }
 
-func diff(w *os.File, baselinePath, freshPath string, tolerance, timeTol float64) (failures int, err error) {
+func diff(w *os.File, baselinePath, freshPath string, tolerance, timeTol, allocTol float64) (failures int, err error) {
 	baseline, err := benchrec.Load(baselinePath)
 	if err != nil {
 		return 0, fmt.Errorf("loading baseline: %w", err)
@@ -134,7 +153,7 @@ func diff(w *os.File, baselinePath, freshPath string, tolerance, timeTol float64
 				delta = (freshVal - base) / math.Abs(base)
 			}
 			verdict := "ok"
-			switch classify(name) {
+			switch classify(e.Name, name) {
 			case classExact:
 				if freshVal != base {
 					verdict = "FAIL (deterministic count drifted)"
@@ -143,6 +162,11 @@ func diff(w *os.File, baselinePath, freshPath string, tolerance, timeTol float64
 			case classRatio:
 				if freshVal < base*(1-tolerance) {
 					verdict = fmt.Sprintf("FAIL (beyond -%.0f%%)", tolerance*100)
+					failures++
+				}
+			case classAllocLower:
+				if freshVal > base*(1+allocTol) {
+					verdict = fmt.Sprintf("FAIL (beyond +%.0f%%)", allocTol*100)
 					failures++
 				}
 			case classTimeLower:

@@ -103,6 +103,37 @@ func TestDeterministicDriftFails(t *testing.T) {
 	}
 }
 
+func TestAllocRegressionGating(t *testing.T) {
+	base := `{"go": "go1.23.0", "benchmarks": [
+    {"name": "WhatIfBatch", "metrics": {"allocs_per_op": 1000, "bytes_per_op": 500000}},
+    {"name": "ServiceThroughput/clusters=1000", "metrics": {"allocs_per_op": 600}}
+  ]}`
+	// WhatIfBatch allocs +50% is beyond the 25% alloc band and must fail;
+	// ServiceThroughput allocs +40% is whole-process noise gated at the
+	// 50% wall-clock band and must pass.
+	fresh := `{"go": "go1.23.0", "benchmarks": [
+    {"name": "WhatIfBatch", "metrics": {"allocs_per_op": 1500, "bytes_per_op": 500000}},
+    {"name": "ServiceThroughput/clusters=1000", "metrics": {"allocs_per_op": 840}}
+  ]}`
+	stdout, _, code := runCLI(t,
+		"-baseline", writeDoc(t, "base.json", base),
+		"-fresh", writeDoc(t, "fresh.json", fresh))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "WhatIfBatch/allocs_per_op") || !strings.Contains(stdout, "1 regression(s)") {
+		t.Fatalf("alloc regression not gated as expected:\n%s", stdout)
+	}
+	// Widening -alloc-tolerance clears the deterministic-path failure too.
+	stdout, _, code = runCLI(t,
+		"-baseline", writeDoc(t, "base2.json", base),
+		"-fresh", writeDoc(t, "fresh2.json", fresh),
+		"-alloc-tolerance", "0.6")
+	if code != 0 {
+		t.Fatalf("exit %d with widened tolerance, want 0\n%s", code, stdout)
+	}
+}
+
 func TestMissingBenchmarkFails(t *testing.T) {
 	fresh := `{"go": "go1.23.0", "benchmarks": [
     {"name": "QSIncremental", "metrics": {"speedup": 8.0, "oracle_ns": 1000000, "jobs": 500}}

@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,20 +39,21 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		shards  = flag.Int("shards", 4, "cluster shards")
-		workers = flag.Int("workers", 2, "tick workers per shard")
-		queue   = flag.Int("queue", 64, "pending-tick queue depth per shard")
-		par     = flag.Int("parallelism", 1, "per-cluster what-if worker pool (results identical for any value)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		shards   = flag.Int("shards", 4, "cluster shards")
+		workers  = flag.Int("workers", 2, "tick workers per shard")
+		queue    = flag.Int("queue", 64, "pending-tick queue depth per shard")
+		par      = flag.Int("parallelism", 1, "per-cluster what-if worker pool (results identical for any value)")
+		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
-	if err := run(*addr, *shards, *workers, *queue, *par); err != nil {
+	if err := run(*addr, *shards, *workers, *queue, *par, *pprofSrv); err != nil {
 		fmt.Fprintln(os.Stderr, "tempod:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, shards, workers, queue, parallelism int) error {
+func run(addr string, shards, workers, queue, parallelism int, pprofAddr string) error {
 	svc := service.New(service.Config{
 		Shards:          shards,
 		WorkersPerShard: workers,
@@ -59,6 +61,26 @@ func run(addr string, shards, workers, queue, parallelism int) error {
 		Parallelism:     parallelism,
 	})
 	defer svc.Close()
+
+	if pprofAddr != "" {
+		// Profiling stays off the service listener (and off by default):
+		// tempod's API may face untrusted clients, while /debug/pprof is an
+		// operator tool. Perf work measures here instead of guessing —
+		//   go tool pprof http://<pprof-addr>/debug/pprof/profile
+		//   go tool pprof http://<pprof-addr>/debug/pprof/heap
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "tempod: pprof listener:", err)
+			}
+		}()
+		fmt.Printf("tempod: pprof on %s\n", pprofAddr)
+	}
 
 	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
 	errc := make(chan error, 1)

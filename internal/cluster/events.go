@@ -1,8 +1,6 @@
 package cluster
 
 import (
-	"encoding/binary"
-	"hash/fnv"
 	"slices"
 	"time"
 
@@ -99,40 +97,65 @@ func EventLess(a, b *Event) bool {
 	return a.Seq < b.Seq
 }
 
+// EventBuf is a reusable buffer set for repeated event-stream extraction:
+// AppendEvents serves the stream from the buffer's storage, so consumers
+// that extract many streams (what-if scoring, per-interval accumulators)
+// stop allocating one event array plus four index arrays per schedule.
+// The zero value is ready to use.
+type EventBuf struct {
+	events []Event
+	idx    []int32
+}
+
 // Events returns the schedule as its canonical ordered event stream: one
 // EventJobSubmit/EventJobFinish pair per job record and one
 // EventTaskStart/EventTaskEnd pair per task attempt, sorted by EventLess.
 // Every job record emits a finish event even when the job did not complete
 // (the record's Finish then marks the kill or horizon-truncation time), so
 // the stream always carries the full record view.
+func (s *Schedule) Events() []Event {
+	return s.AppendEvents(&EventBuf{})
+}
+
+// AppendEvents is Events serving from a reusable buffer: the returned
+// stream is valid until buf's next use. The bytes of the stream are
+// identical to Events'.
 //
 // The stream is assembled as a four-way merge of per-kind cursors over
 // index-sorted record views rather than one big sort: each Event (a large,
 // pointer-carrying struct) is written exactly once, and the index sorts
 // are nearly no-ops on emulator output, whose Jobs and Tasks already come
 // in submit and start order.
-func (s *Schedule) Events() []Event {
+func (s *Schedule) AppendEvents(buf *EventBuf) []Event {
 	nj, nt := len(s.Jobs), len(s.Tasks)
-	submitIdx := sortedIndex(nj, func(i, j int32) bool {
+	if need := 2*nj + 2*nt; cap(buf.idx) < need {
+		buf.idx = make([]int32, need)
+	}
+	idx := buf.idx[:2*nj+2*nt]
+	submitIdx := sortedIndexInto(idx[0:nj], func(i, j int32) bool {
 		a, b := s.Jobs[i].Submit, s.Jobs[j].Submit
 		return a < b || (a == b && i < j)
 	})
-	finishIdx := sortedIndex(nj, func(i, j int32) bool {
+	finishIdx := sortedIndexInto(idx[nj:2*nj], func(i, j int32) bool {
 		a, b := s.Jobs[i].Finish, s.Jobs[j].Finish
 		return a < b || (a == b && i < j)
 	})
-	startIdx := sortedIndex(nt, func(i, j int32) bool {
+	startIdx := sortedIndexInto(idx[2*nj:2*nj+nt], func(i, j int32) bool {
 		a, b := s.Tasks[i].Start, s.Tasks[j].Start
 		return a < b || (a == b && i < j)
 	})
-	endIdx := sortedIndex(nt, func(i, j int32) bool {
+	endIdx := sortedIndexInto(idx[2*nj+nt:], func(i, j int32) bool {
 		a, b := s.Tasks[i].End, s.Tasks[j].End
 		return a < b || (a == b && i < j)
 	})
 
-	events := make([]Event, 0, 2*nj+2*nt)
+	if need := 2*nj + 2*nt; cap(buf.events) < need {
+		buf.events = make([]Event, 0, need)
+	}
+	events := buf.events[:0]
+	total := 2*nj + 2*nt
 	var js, jf, ts, te int
-	for len(events) < cap(events) {
+	for len(events) < total {
 		bestKind := EventKind(255)
 		var bestTime time.Duration
 		var bestSeq int32
@@ -190,13 +213,13 @@ func (s *Schedule) Events() []Event {
 			jf++
 		}
 	}
+	buf.events = events
 	return events
 }
 
-// sortedIndex returns [0, n) sorted by the comparator. Ties never occur:
-// every less function falls back to index order.
-func sortedIndex(n int, less func(i, j int32) bool) []int32 {
-	idx := make([]int32, n)
+// sortedIndexInto fills idx with [0, len(idx)) sorted by the comparator.
+// Ties never occur: every less function falls back to index order.
+func sortedIndexInto(idx []int32, less func(i, j int32) bool) []int32 {
 	for i := range idx {
 		idx[i] = int32(i)
 	}
@@ -259,53 +282,70 @@ func ReplaySchedule(capacity int, horizon time.Duration, events []Event) *Schedu
 	return s
 }
 
+// FNV-1a 64-bit parameters (hash/fnv's), inlined so fingerprinting a
+// schedule on the what-if hot path does not allocate a hash.Hash64.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvUint64 absorbs v's little-endian bytes — the same byte sequence
+// binary.LittleEndian.PutUint64 + Write fed hash/fnv, so fingerprints are
+// unchanged across the inlining.
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	h = fnvUint64(h, uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+func fnvBool(h uint64, v bool) uint64 {
+	if v {
+		return fnvUint64(h, 1)
+	}
+	return fnvUint64(h, 0)
+}
+
 // Fingerprint returns a 64-bit FNV-1a digest of the schedule's full record
 // view (capacity, horizon, every job and task field). Schedules with equal
 // fingerprints are almost certainly identical; callers that must be exact
 // (the what-if evaluation cache) verify with Equal before trusting a match.
 func (s *Schedule) Fingerprint() uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	u := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[:], v)
-		h.Write(buf[:])
-	}
-	str := func(v string) {
-		u(uint64(len(v)))
-		h.Write([]byte(v))
-	}
-	b := func(v bool) {
-		if v {
-			u(1)
-		} else {
-			u(0)
-		}
-	}
-	u(uint64(s.Capacity))
-	u(uint64(s.Horizon))
-	u(uint64(len(s.Jobs)))
+	h := uint64(fnvOffset64)
+	h = fnvUint64(h, uint64(s.Capacity))
+	h = fnvUint64(h, uint64(s.Horizon))
+	h = fnvUint64(h, uint64(len(s.Jobs)))
 	for i := range s.Jobs {
 		j := &s.Jobs[i]
-		str(j.ID)
-		str(j.Tenant)
-		u(uint64(j.Submit))
-		u(uint64(j.Finish))
-		u(uint64(j.Deadline))
-		b(j.Completed)
-		b(j.Killed)
+		h = fnvString(h, j.ID)
+		h = fnvString(h, j.Tenant)
+		h = fnvUint64(h, uint64(j.Submit))
+		h = fnvUint64(h, uint64(j.Finish))
+		h = fnvUint64(h, uint64(j.Deadline))
+		h = fnvBool(h, j.Completed)
+		h = fnvBool(h, j.Killed)
 	}
-	u(uint64(len(s.Tasks)))
+	h = fnvUint64(h, uint64(len(s.Tasks)))
 	for i := range s.Tasks {
 		t := &s.Tasks[i]
-		str(t.JobID)
-		str(t.Tenant)
-		u(uint64(t.Kind))
-		u(uint64(t.Attempt))
-		u(uint64(t.Start))
-		u(uint64(t.End))
-		u(uint64(t.Outcome))
+		h = fnvString(h, t.JobID)
+		h = fnvString(h, t.Tenant)
+		h = fnvUint64(h, uint64(t.Kind))
+		h = fnvUint64(h, uint64(t.Attempt))
+		h = fnvUint64(h, uint64(t.Start))
+		h = fnvUint64(h, uint64(t.End))
+		h = fnvUint64(h, uint64(t.Outcome))
 	}
-	return h.Sum64()
+	return h
 }
 
 // Equal reports whether two schedules have identical record views. It is

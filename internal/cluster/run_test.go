@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"tempo/internal/workload"
+)
+
+func runTestTrace(t *testing.T, seed int64, horizon time.Duration) *workload.Trace {
+	t.Helper()
+	tr, err := workload.Generate(
+		[]workload.TenantProfile{
+			workload.DeadlineDriven("etl", 0.5),
+			workload.BestEffort("adhoc", 0.5),
+		},
+		workload.GenerateOptions{Horizon: horizon, Seed: seed},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestSimReuseDeterministic locks the arena contract: a Sim dirtied by
+// arbitrary other runs must reproduce a fresh simulator's schedule
+// bit-for-bit, for both the deterministic predictor and the noisy
+// emulation. This is the property that makes pooling invisible to every
+// downstream consumer (what-if scoring, goldens, loadgen verification).
+func TestSimReuseDeterministic(t *testing.T) {
+	traceA := runTestTrace(t, 7, 2*time.Hour)
+	traceB := runTestTrace(t, 8, time.Hour)
+	cfg := Config{
+		TotalContainers: 20,
+		Tenants: map[string]TenantConfig{
+			"etl":   {Weight: 2, MinShare: 5, SharePreemptTimeout: 5 * time.Minute},
+			"adhoc": {Weight: 1},
+		},
+	}
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"predictor", Options{Horizon: time.Hour}},
+		{"noisy", Options{Horizon: time.Hour, Noise: DefaultNoise(3)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := NewSim().RunInto(traceA, cfg, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// want borrows its Sim's arena; that Sim runs nothing else, so
+			// it stays valid for the comparisons below.
+			sm := NewSim()
+			if _, err := sm.RunInto(traceB, cfg, Options{}); err != nil {
+				t.Fatal(err) // dirty the arena with a different shape
+			}
+			for i := 0; i < 3; i++ {
+				got, err := sm.RunInto(traceA, cfg, tc.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("rerun %d on a dirty arena diverged: %v vs %v", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSimDetach locks Detach's ownership transfer: a detached schedule
+// must survive later runs on the same arena unchanged, while an
+// undetached one is recycled (its backing is reused).
+func TestSimDetach(t *testing.T) {
+	trace := runTestTrace(t, 9, time.Hour)
+	cfg := Config{TotalContainers: 10, Tenants: map[string]TenantConfig{"etl": {Weight: 1}, "adhoc": {Weight: 1}}}
+	sm := NewSim()
+	first, err := sm.RunInto(trace, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm.Detach()
+	snapshot := &Schedule{
+		Capacity: first.Capacity,
+		Horizon:  first.Horizon,
+		Tasks:    append([]TaskRecord(nil), first.Tasks...),
+		Jobs:     append([]JobRecord(nil), first.Jobs...),
+	}
+	other := runTestTrace(t, 10, 30*time.Minute)
+	if _, err := sm.RunInto(other, cfg, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !first.Equal(snapshot) {
+		t.Fatal("detached schedule was mutated by a later run on the same arena")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"tempo/internal/arena"
 	"tempo/internal/sim"
 	"tempo/internal/workload"
 )
@@ -31,26 +32,6 @@ type Options struct {
 	Horizon time.Duration
 }
 
-// Run simulates the trace under the RM configuration and returns the task
-// schedule. It is deterministic: the same inputs (including the noise
-// model's seed) always produce the same schedule.
-func Run(trace *workload.Trace, cfg Config, opts Options) (*Schedule, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if err := trace.Validate(); err != nil {
-		return nil, err
-	}
-	s := newScheduler(trace, cfg, opts)
-	return s.run(), nil
-}
-
-// Predict runs the fast deterministic Schedule Predictor (§7.2): the same
-// scheduling code path as Run with noise disabled.
-func Predict(trace *workload.Trace, cfg Config) (*Schedule, error) {
-	return Run(trace, cfg, Options{})
-}
-
 // task is one task of one job; it may go through several attempts.
 type task struct {
 	job      *jobRun
@@ -70,6 +51,10 @@ type runningTask struct {
 	recIdx    int
 	launchSeq uint64
 	done      bool
+	// plannedOutcome is how the attempt will end if it runs to its finish
+	// event: TaskFinished, or TaskFailed when the noise model injected a
+	// failure at launch. Preemption and kills override it via release.
+	plannedOutcome TaskOutcome
 }
 
 // jobRun tracks a job's progress through its stages.
@@ -84,12 +69,63 @@ type jobRun struct {
 	running   []*runningTask
 }
 
+// taskDeque is the tenant's pending-task FIFO with O(1) front pushes for
+// preempted tasks. A head index replaces the pending[1:] re-slicing the
+// queue used to do, which defeated append's amortized growth (the slice's
+// base kept advancing, so the backing array was re-allocated over and
+// over on steady task flow).
+type taskDeque struct {
+	buf  []*task
+	head int
+}
+
+func (d *taskDeque) len() int { return len(d.buf) - d.head }
+
+func (d *taskDeque) pushBack(t *task) { d.buf = append(d.buf, t) }
+
+// pushFront reuses the slot freed by the last popFront when one exists;
+// preemptions (the only front-pushers) always follow pops, so the
+// allocating fallback is rare.
+func (d *taskDeque) pushFront(t *task) {
+	if d.head > 0 {
+		d.head--
+		d.buf[d.head] = t
+		return
+	}
+	d.buf = append(d.buf, nil)
+	copy(d.buf[1:], d.buf)
+	d.buf[0] = t
+}
+
+func (d *taskDeque) popFront() *task {
+	t := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head++
+	if d.head == len(d.buf) {
+		d.buf = d.buf[:0]
+		d.head = 0
+	}
+	return t
+}
+
+// filter keeps only tasks satisfying keep, preserving order.
+func (d *taskDeque) filter(keep func(*task) bool) {
+	kept := d.buf[:d.head]
+	for _, t := range d.buf[d.head:] {
+		if keep(t) {
+			kept = append(kept, t)
+		}
+	}
+	clear(d.buf[len(kept):])
+	d.buf = kept
+}
+
 // tenantState is a tenant queue inside the RM.
 type tenantState struct {
 	name string
 	cfg  TenantConfig
 
-	pending []*task // FIFO; preempted tasks are pushed to the front
+	pending taskDeque // FIFO; preempted tasks are pushed to the front
 	running int
 	ranked  []*runningTask // launch order, lazily compacted
 
@@ -101,7 +137,7 @@ type tenantState struct {
 	shareCheckEv      *sim.Event
 }
 
-func (t *tenantState) demand() int { return t.running + len(t.pending) }
+func (t *tenantState) demand() int { return t.running + t.pending.len() }
 
 // effMax returns the tenant's container ceiling.
 func (t *tenantState) effMax(capacity int) int {
@@ -124,6 +160,20 @@ func (t *tenantState) minTarget(capacity int) int {
 	return m
 }
 
+// ws is one active tenant's state inside computeFairShares' water-filling.
+type ws struct {
+	ts    *tenantState
+	cap   float64
+	floor float64
+	share float64
+	fixed bool
+}
+
+// scheduler is the RM simulation state. It is built to be reused: init
+// returns every field to its start-of-run state while keeping the engine's
+// event arena, the bookkeeping arenas, and the hot-loop buffers, so one
+// scheduler value can run many simulations with near-zero steady-state
+// allocation (see Sim).
 type scheduler struct {
 	engine   sim.Engine
 	cfg      Config
@@ -138,50 +188,118 @@ type scheduler struct {
 	schedule  *Schedule
 	launchSeq uint64
 	allRun    []*runningTask // live attempts for horizon truncation
+
+	// Reused hot-loop buffers.
+	fair    []ws           // computeFairShares scratch
+	victims []*runningTask // killVictims scratch
+
+	// Arenas for per-run bookkeeping objects.
+	jobRuns arena.Arena[jobRun]
+	tasks   arena.Arena[task]
+	runs    arena.Arena[runningTask]
+	tstates arena.Arena[tenantState]
+	ints    arena.SliceArena[int]
+	bools   arena.SliceArena[bool]
+
+	// Backing arrays for the produced Schedule, reused across runs unless
+	// the caller detaches the schedule (see Sim.Detach).
+	tasksBuf []TaskRecord
+	jobsBuf  []JobRecord
+
+	// Shared event handlers (sim.Engine.AtArg): bound once per scheduler,
+	// so scheduling an event does not allocate a closure.
+	fnSubmit       func(now time.Duration, arg any)
+	fnFinish       func(now time.Duration, arg any)
+	fnKill         func(now time.Duration, arg any)
+	fnPreemptMin   func(now time.Duration, arg any)
+	fnPreemptShare func(now time.Duration, arg any)
 }
 
-func newScheduler(trace *workload.Trace, cfg Config, opts Options) *scheduler {
-	s := &scheduler{
-		cfg:      cfg,
-		capacity: cfg.TotalContainers,
-		free:     cfg.TotalContainers,
-		opts:     opts,
-		tenants:  make(map[string]*tenantState),
-		schedule: &Schedule{Capacity: cfg.TotalContainers},
+// bind installs the shared event handlers. Called once per scheduler
+// value, before its first run.
+func (s *scheduler) bind() {
+	s.fnSubmit = func(now time.Duration, arg any) {
+		s.submit(now, arg.(*workload.JobSpec))
+	}
+	s.fnFinish = func(now time.Duration, arg any) {
+		rt := arg.(*runningTask)
+		s.finish(now, rt, rt.plannedOutcome)
+	}
+	s.fnKill = func(now time.Duration, arg any) {
+		jr := arg.(*jobRun)
+		s.killJob(now, s.tenants[jr.spec.Tenant], jr)
+	}
+	s.fnPreemptMin = func(now time.Duration, arg any) {
+		ts := arg.(*tenantState)
+		ts.minCheckEv = nil
+		s.preemptCheck(now, ts, true)
+	}
+	s.fnPreemptShare = func(now time.Duration, arg any) {
+		ts := arg.(*tenantState)
+		ts.shareCheckEv = nil
+		s.preemptCheck(now, ts, false)
+	}
+}
+
+// init resets the scheduler for a fresh run of the trace under cfg. Every
+// piece of per-run state is restored to its start state; arena blocks, the
+// event queue's backing array, and (unless detached) the schedule's record
+// arrays are recycled rather than re-allocated.
+func (s *scheduler) init(trace *workload.Trace, cfg Config, opts Options) {
+	s.engine.Reset()
+	s.cfg = cfg
+	s.capacity = cfg.TotalContainers
+	s.free = cfg.TotalContainers
+	s.opts = opts
+	if s.tenants == nil {
+		s.tenants = make(map[string]*tenantState)
+	} else {
+		clear(s.tenants)
+	}
+	s.tenantList = s.tenantList[:0]
+	s.launchSeq = 0
+	s.allRun = s.allRun[:0]
+	s.fair = s.fair[:0]
+	s.victims = s.victims[:0]
+	s.jobRuns.Reset()
+	s.tasks.Reset()
+	s.runs.Reset()
+	s.tstates.Reset()
+	s.ints.Reset()
+	s.bools.Reset()
+	s.schedule = &Schedule{
+		Capacity: cfg.TotalContainers,
+		Tasks:    s.tasksBuf[:0],
+		Jobs:     s.jobsBuf[:0],
 	}
 	if opts.Noise != nil {
-		s.rng = rand.New(rand.NewSource(opts.Noise.Seed))
-	}
-	for _, name := range traceTenants(trace) {
-		ts := &tenantState{
-			name:              name,
-			cfg:               cfg.Tenant(name),
-			starvedMinSince:   -1,
-			starvedShareSince: -1,
+		// Re-seeding restores the exact generator state rand.New would
+		// build, so a reused scheduler's noise stream is bit-identical to a
+		// fresh one's.
+		if s.rng == nil {
+			s.rng = rand.New(rand.NewSource(opts.Noise.Seed))
+		} else {
+			s.rng.Seed(opts.Noise.Seed)
 		}
-		s.tenants[name] = ts
-		s.tenantList = append(s.tenantList, ts)
 	}
 	for i := range trace.Jobs {
-		spec := &trace.Jobs[i]
-		s.engine.At(spec.Submit, prioSubmit, func(now time.Duration) {
-			s.submit(now, spec)
-		})
+		name := trace.Jobs[i].Tenant
+		if _, ok := s.tenants[name]; !ok {
+			ts := s.tstates.Get()
+			ts.name = name
+			ts.cfg = cfg.Tenant(name)
+			ts.starvedMinSince = -1
+			ts.starvedShareSince = -1
+			s.tenants[name] = ts
+			s.tenantList = append(s.tenantList, ts)
+		}
 	}
-	return s
-}
-
-func traceTenants(trace *workload.Trace) []string {
-	set := map[string]bool{}
+	sort.Slice(s.tenantList, func(i, j int) bool {
+		return s.tenantList[i].name < s.tenantList[j].name
+	})
 	for i := range trace.Jobs {
-		set[trace.Jobs[i].Tenant] = true
+		s.engine.AtArg(trace.Jobs[i].Submit, prioSubmit, s.fnSubmit, &trace.Jobs[i])
 	}
-	out := make([]string, 0, len(set))
-	for k := range set {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
 }
 
 func (s *scheduler) run() *Schedule {
@@ -198,12 +316,11 @@ func (s *scheduler) run() *Schedule {
 // submit admits a job: record it, unlock dependency-free stages, enqueue
 // their tasks, and try to place work.
 func (s *scheduler) submit(now time.Duration, spec *workload.JobSpec) {
-	jr := &jobRun{
-		spec:      spec,
-		remaining: make([]int, len(spec.Stages)),
-		unlocked:  make([]bool, len(spec.Stages)),
-		recIdx:    len(s.schedule.Jobs),
-	}
+	jr := s.jobRuns.Get()
+	jr.spec = spec
+	jr.remaining = s.ints.Take(len(spec.Stages))
+	jr.unlocked = s.bools.Take(len(spec.Stages))
+	jr.recIdx = len(s.schedule.Jobs)
 	s.schedule.Jobs = append(s.schedule.Jobs, JobRecord{
 		ID:       spec.ID,
 		Tenant:   spec.Tenant,
@@ -221,9 +338,7 @@ func (s *scheduler) submit(now time.Duration, spec *workload.JobSpec) {
 	}
 	if s.opts.Noise != nil {
 		if killAt, ok := s.opts.Noise.jobKillTime(s.rng, spec, now); ok {
-			jr.killEv = s.engine.At(killAt, prioKill, func(t time.Duration) {
-				s.killJob(t, ts, jr)
-			})
+			jr.killEv = s.engine.AtArg(killAt, prioKill, s.fnKill, jr)
 		}
 	}
 	s.assign(now)
@@ -234,13 +349,13 @@ func (s *scheduler) unlockStage(ts *tenantState, jr *jobRun, stage int) {
 	jr.unlocked[stage] = true
 	specs := jr.spec.Stages[stage].Tasks
 	for i := range specs {
-		ts.pending = append(ts.pending, &task{
-			job:      jr,
-			stage:    stage,
-			index:    i,
-			kind:     specs[i].Kind,
-			duration: specs[i].Duration,
-		})
+		t := s.tasks.Get()
+		t.job = jr
+		t.stage = stage
+		t.index = i
+		t.kind = specs[i].Kind
+		t.duration = specs[i].Duration
+		ts.pending.pushBack(t)
 	}
 }
 
@@ -273,7 +388,7 @@ func (s *scheduler) pickTenant() *tenantState {
 	var bestKey float64
 	const eps = 1e-9
 	for _, ts := range s.tenantList {
-		if len(ts.pending) == 0 || ts.running >= ts.effMax(s.capacity) {
+		if ts.pending.len() == 0 || ts.running >= ts.effMax(s.capacity) {
 			continue
 		}
 		belowMin := ts.running < ts.minTarget(s.capacity)
@@ -306,12 +421,15 @@ func (s *scheduler) launch(now time.Duration, ts *tenantState) {
 	if s.opts.Noise != nil {
 		dur, fail = s.opts.Noise.attemptDuration(s.rng, dur)
 	}
-	rt := &runningTask{
-		t:         t,
-		tenant:    ts,
-		start:     now,
-		recIdx:    len(s.schedule.Tasks),
-		launchSeq: s.launchSeq,
+	rt := s.runs.Get()
+	rt.t = t
+	rt.tenant = ts
+	rt.start = now
+	rt.recIdx = len(s.schedule.Tasks)
+	rt.launchSeq = s.launchSeq
+	rt.plannedOutcome = TaskFinished
+	if fail {
+		rt.plannedOutcome = TaskFailed
 	}
 	s.launchSeq++
 	s.schedule.Tasks = append(s.schedule.Tasks, TaskRecord{
@@ -327,21 +445,14 @@ func (s *scheduler) launch(now time.Duration, ts *tenantState) {
 	ts.ranked = append(ts.ranked, rt)
 	t.job.running = append(t.job.running, rt)
 	s.allRun = append(s.allRun, rt)
-	outcome := TaskFinished
-	if fail {
-		outcome = TaskFailed
-	}
-	rt.finishEv = s.engine.At(now+dur, prioFinish, func(end time.Duration) {
-		s.finish(end, rt, outcome)
-	})
+	rt.finishEv = s.engine.AtArg(now+dur, prioFinish, s.fnFinish, rt)
 }
 
 // popPending removes and returns the tenant's next live pending task,
 // discarding tasks whose job has been killed.
 func (s *scheduler) popPending(ts *tenantState) *task {
-	for len(ts.pending) > 0 {
-		t := ts.pending[0]
-		ts.pending = ts.pending[1:]
+	for ts.pending.len() > 0 {
+		t := ts.pending.popFront()
 		if !t.job.killed {
 			return t
 		}
@@ -362,7 +473,7 @@ func (s *scheduler) finish(now time.Duration, rt *runningTask, outcome TaskOutco
 		}
 	case TaskFailed:
 		// Lost work; the task restarts from scratch at the queue tail.
-		rt.tenant.pending = append(rt.tenant.pending, t)
+		rt.tenant.pending.pushBack(t)
 	}
 	s.assign(now)
 }
@@ -424,13 +535,7 @@ func (s *scheduler) killJob(now time.Duration, ts *tenantState, jr *jobRun) {
 	}
 	jr.killed = true
 	// Remove the job's pending tasks from the tenant queue.
-	kept := ts.pending[:0]
-	for _, t := range ts.pending {
-		if t.job != jr {
-			kept = append(kept, t)
-		}
-	}
-	ts.pending = kept
+	ts.pending.filter(func(t *task) bool { return t.job != jr })
 	for _, rt := range jr.running {
 		if !rt.done {
 			s.release(now, rt, TaskKilled)
@@ -445,16 +550,10 @@ func (s *scheduler) killJob(now time.Duration, ts *tenantState, jr *jobRun) {
 
 // computeFairShares runs weighted water-filling with floors (min shares),
 // ceilings (max shares), and demand caps, storing each tenant's
-// instantaneous fair share.
+// instantaneous fair share. It runs on every assignment, so its working
+// set is a reused value-slice buffer rather than per-call allocations.
 func (s *scheduler) computeFairShares() {
-	type ws struct {
-		ts    *tenantState
-		cap   float64
-		floor float64
-		share float64
-		fixed bool
-	}
-	var active []*ws
+	active := s.fair[:0]
 	var floorSum float64
 	for _, ts := range s.tenantList {
 		ts.fairShare = 0
@@ -464,38 +563,41 @@ func (s *scheduler) computeFairShares() {
 		}
 		capacity := math.Min(float64(ts.effMax(s.capacity)), float64(d))
 		floor := math.Min(float64(ts.minTarget(s.capacity)), capacity)
-		active = append(active, &ws{ts: ts, cap: capacity, floor: floor})
+		active = append(active, ws{ts: ts, cap: capacity, floor: floor})
 		floorSum += floor
 	}
+	s.fair = active // keep the grown backing for the next call
 	if len(active) == 0 {
 		return
 	}
 	total := float64(s.capacity)
 	if floorSum > total {
 		// Overcommitted min shares: scale floors down proportionally.
-		for _, w := range active {
+		for i := range active {
+			w := &active[i]
 			w.share = w.floor * total / floorSum
 			w.ts.fairShare = w.share
 		}
 		return
 	}
 	remaining := total - floorSum
-	for _, w := range active {
-		w.share = w.floor
+	for i := range active {
+		active[i].share = active[i].floor
 	}
 	// Water-fill the remainder by weight, fixing tenants that hit caps.
 	for iter := 0; iter < len(active)+1; iter++ {
 		var wsum float64
-		for _, w := range active {
-			if !w.fixed {
-				wsum += w.ts.cfg.Weight
+		for i := range active {
+			if !active[i].fixed {
+				wsum += active[i].ts.cfg.Weight
 			}
 		}
 		if wsum == 0 || remaining <= 1e-9 {
 			break
 		}
 		overflow := false
-		for _, w := range active {
+		for i := range active {
+			w := &active[i]
 			if w.fixed {
 				continue
 			}
@@ -508,16 +610,16 @@ func (s *scheduler) computeFairShares() {
 			}
 		}
 		if !overflow {
-			for _, w := range active {
-				if !w.fixed {
-					w.share += remaining * w.ts.cfg.Weight / wsum
+			for i := range active {
+				if !active[i].fixed {
+					active[i].share += remaining * active[i].ts.cfg.Weight / wsum
 				}
 			}
 			break
 		}
 	}
-	for _, w := range active {
-		w.ts.fairShare = w.share
+	for i := range active {
+		active[i].ts.fairShare = active[i].share
 	}
 }
 
@@ -526,8 +628,8 @@ func (s *scheduler) computeFairShares() {
 func (s *scheduler) updateStarvation(now time.Duration) {
 	s.computeFairShares()
 	for _, ts := range s.tenantList {
-		starvedMin := len(ts.pending) > 0 && ts.running < ts.minTarget(s.capacity)
-		starvedShare := len(ts.pending) > 0 && float64(ts.running) < ts.fairShare-1e-9
+		starvedMin := ts.pending.len() > 0 && ts.running < ts.minTarget(s.capacity)
+		starvedShare := ts.pending.len() > 0 && float64(ts.running) < ts.fairShare-1e-9
 		s.armClock(now, ts, starvedMin, &ts.starvedMinSince, &ts.minCheckEv, ts.cfg.MinSharePreemptTimeout, true)
 		s.armClock(now, ts, starvedShare, &ts.starvedShareSince, &ts.shareCheckEv, ts.cfg.SharePreemptTimeout, false)
 	}
@@ -557,10 +659,11 @@ func (s *scheduler) armClock(now time.Duration, ts *tenantState, starved bool, s
 	if *ev != nil && s.engine.Reschedule(*ev, fireAt) {
 		return
 	}
-	*ev = s.engine.At(fireAt, prioPreempt, func(t time.Duration) {
-		*ev = nil
-		s.preemptCheck(t, ts, minLevel)
-	})
+	fn := s.fnPreemptShare
+	if minLevel {
+		fn = s.fnPreemptMin
+	}
+	*ev = s.engine.AtArg(fireAt, prioPreempt, fn, ts)
 }
 
 // preemptCheck fires when a tenant has been continuously starved for its
@@ -581,7 +684,7 @@ func (s *scheduler) preemptCheck(now time.Duration, ts *tenantState, minLevel bo
 	if !minLevel {
 		timeout = ts.cfg.SharePreemptTimeout
 	}
-	if since < 0 || len(ts.pending) == 0 || now < since+timeout {
+	if since < 0 || ts.pending.len() == 0 || now < since+timeout {
 		s.updateStarvation(now)
 		return
 	}
@@ -603,7 +706,7 @@ func (s *scheduler) preemptCheck(now time.Duration, ts *tenantState, minLevel bo
 // killVictims preempts up to need containers from tenants running above
 // their fair share, most recently launched attempts first.
 func (s *scheduler) killVictims(now time.Duration, starved *tenantState, need int) {
-	var victims []*runningTask
+	victims := s.victims[:0]
 	for _, ts := range s.tenantList {
 		if ts == starved {
 			continue
@@ -626,6 +729,7 @@ func (s *scheduler) killVictims(now time.Duration, starved *tenantState, need in
 		}
 		ts.compactRanked()
 	}
+	s.victims = victims // keep the grown backing for the next call
 	sort.Slice(victims, func(i, j int) bool { return victims[i].launchSeq > victims[j].launchSeq })
 	for _, rt := range victims {
 		if need <= 0 {
@@ -641,7 +745,7 @@ func (s *scheduler) killVictims(now time.Duration, starved *tenantState, need in
 // the effect Figure 1 illustrates).
 func (s *scheduler) preempt(now time.Duration, rt *runningTask) {
 	s.release(now, rt, TaskPreempted)
-	rt.tenant.pending = append([]*task{rt.t}, rt.tenant.pending...)
+	rt.tenant.pending.pushFront(rt.t)
 }
 
 // compactRanked drops completed attempts from the launch-order list.

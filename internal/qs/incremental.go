@@ -101,6 +101,35 @@ func Accumulate(templates []Template, s *cluster.Schedule) *Accumulator {
 	return a
 }
 
+// Scratch is a reusable buffer set for repeated QS evaluation: the
+// schedule's event stream and the accumulator's per-record state are
+// served from recycled storage instead of fresh allocations per
+// evaluation. One Scratch serves one goroutine; the zero value is ready
+// to use.
+type Scratch struct {
+	buf   cluster.EventBuf
+	jobs  []jobState
+	tasks []taskState
+}
+
+// accumulate is Accumulate serving its event stream and record state from
+// the scratch. The returned accumulator aliases scratch storage (and the
+// caller's template slice), so it is only valid until the scratch's next
+// use — evaluate and drop it.
+func (sc *Scratch) accumulate(templates []Template, s *cluster.Schedule) *Accumulator {
+	a := &Accumulator{templates: templates, capacity: s.Capacity}
+	a.jobs = sc.jobs[:0]
+	a.tasks = sc.tasks[:0]
+	for _, ev := range s.AppendEvents(&sc.buf) {
+		a.Observe(ev)
+	}
+	// Keep the (possibly grown) state arrays for the next evaluation.
+	sc.jobs = a.jobs
+	sc.tasks = a.tasks
+	a.Seal()
+	return a
+}
+
 // streamCutover is the template count above which the incremental path
 // beats per-template rescans for a one-shot evaluation. Both costs are
 // linear in the record count — the oracle pays k scans, the accumulator a
@@ -124,6 +153,24 @@ func EvalStream(templates []Template, s *cluster.Schedule, from, to time.Duratio
 		return EvalAll(templates, s, from, to)
 	}
 	return Accumulate(templates, s).Values(from, to)
+}
+
+// EvalStreamScratch is EvalStream serving its working storage from the
+// scratch — what-if candidate scoring evaluates one schedule per
+// (candidate, sample) pair and must not churn the heap doing it. The
+// returned vector is freshly allocated (callers retain it); everything
+// intermediate is recycled. Results are bit-identical to EvalStream's.
+// A nil scratch falls back to EvalStream.
+func EvalStreamScratch(sc *Scratch, templates []Template, s *cluster.Schedule, from, to time.Duration) []float64 {
+	if sc == nil {
+		return EvalStream(templates, s, from, to)
+	}
+	if len(templates) < streamCutover {
+		// The oracle path's per-template scans are already allocation-free;
+		// only the result vector is allocated.
+		return EvalAll(templates, s, from, to)
+	}
+	return sc.accumulate(templates, s).Values(from, to)
 }
 
 // Observe feeds one event. All events of the stream must be observed

@@ -151,7 +151,7 @@ func (t Template) Eval(s *cluster.Schedule, from, to time.Duration) float64 {
 	case Utilization:
 		v = -usedFraction(s, t.Queue, t.TaskKind, t.EffectiveOnly, from, to)
 	case Throughput:
-		v = -float64(len(completedJobs(s, t.Queue, from, to)))
+		v = -float64(countCompletedJobs(s, t.Queue, from, to))
 	case Fairness:
 		total := usedFraction(s, "", nil, false, from, to)
 		mine := usedFraction(s, t.Queue, nil, false, from, to)
@@ -178,44 +178,53 @@ func EvalAll(templates []Template, s *cluster.Schedule, from, to time.Duration) 
 	return out
 }
 
-// completedJobs returns tenant i's job set Ji for the interval: submitted
-// and completed within [from, to).
-func completedJobs(s *cluster.Schedule, tenant string, from, to time.Duration) []cluster.JobRecord {
-	var out []cluster.JobRecord
-	for i := range s.Jobs {
-		j := s.Jobs[i]
-		if tenant != "" && j.Tenant != tenant {
-			continue
-		}
-		if !j.Completed || j.Submit < from || j.Submit >= to || j.Finish >= to {
-			continue
-		}
-		out = append(out, j)
+// inJobSet reports whether j belongs to tenant i's job set Ji for the
+// interval: submitted and completed within [from, to).
+func inJobSet(j *cluster.JobRecord, tenant string, from, to time.Duration) bool {
+	if tenant != "" && j.Tenant != tenant {
+		return false
 	}
-	return out
+	return j.Completed && j.Submit >= from && j.Submit < to && j.Finish < to
 }
 
-// avgResponse implements eq. (1).
+// countCompletedJobs sizes tenant i's job set Ji without materializing it.
+func countCompletedJobs(s *cluster.Schedule, tenant string, from, to time.Duration) int {
+	n := 0
+	for i := range s.Jobs {
+		if inJobSet(&s.Jobs[i], tenant, from, to) {
+			n++
+		}
+	}
+	return n
+}
+
+// avgResponse implements eq. (1). The scan streams over the records in
+// order — the same summation order the set-materializing formulation had —
+// so results are bit-identical without building the job set.
 func avgResponse(s *cluster.Schedule, tenant string, from, to time.Duration) float64 {
-	jobs := completedJobs(s, tenant, from, to)
-	if len(jobs) == 0 {
+	n := 0
+	var sum float64
+	for i := range s.Jobs {
+		j := &s.Jobs[i]
+		if !inJobSet(j, tenant, from, to) {
+			continue
+		}
+		n++
+		sum += (j.Finish - j.Submit).Seconds()
+	}
+	if n == 0 {
 		return 0
 	}
-	var sum float64
-	for i := range jobs {
-		sum += (jobs[i].Finish - jobs[i].Submit).Seconds()
-	}
-	return sum / float64(len(jobs))
+	return sum / float64(n)
 }
 
 // deadlineViolations implements eq. (2) with slack γ. Jobs without
 // deadlines are excluded from the denominator.
 func deadlineViolations(s *cluster.Schedule, tenant string, slack float64, from, to time.Duration) float64 {
-	jobs := completedJobs(s, tenant, from, to)
 	n, violated := 0, 0
-	for i := range jobs {
-		j := jobs[i]
-		if j.Deadline <= 0 {
+	for i := range s.Jobs {
+		j := &s.Jobs[i]
+		if !inJobSet(j, tenant, from, to) || j.Deadline <= 0 {
 			continue
 		}
 		n++

@@ -19,6 +19,15 @@
 // a cluster driven through the service produces a report byte-identical
 // to the same spec run sequentially by scenario.Run — cmd/loadgen asserts
 // exactly that under concurrent traffic.
+//
+// Serving is allocation-lean: the control-loop work a shard worker drives
+// (schedule prediction, emulation, QS evaluation) runs on pooled scratch
+// arenas (cluster.Sim via whatif's per-worker Scratch and cluster.Run's
+// shared pool), so per-run simulation state is recycled across the ticks
+// of all resident clusters instead of churning the heap — at 1000
+// clusters the process would otherwise be GC-bound. The pools are
+// process-wide sync.Pools: workers on any shard reuse whatever arena the
+// last tick parked, and memory pressure shrinks them automatically.
 package service
 
 import (

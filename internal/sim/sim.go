@@ -16,6 +16,8 @@ package sim
 import (
 	"container/heap"
 	"time"
+
+	"tempo/internal/arena"
 )
 
 // Event is a unit of work scheduled at a virtual time instant.
@@ -28,8 +30,15 @@ type Event struct {
 	// instant).
 	Priority int
 	// Fire is invoked when the event is dispatched. It may schedule
-	// further events.
+	// further events. Events scheduled with AtArg leave Fire nil and
+	// dispatch through fireArg instead.
 	Fire func(now time.Duration)
+
+	// fireArg and arg are the allocation-lean dispatch path (AtArg): the
+	// handler is shared across events and the per-event state rides in arg,
+	// so scheduling an event does not capture a closure.
+	fireArg func(now time.Duration, arg any)
+	arg     any
 
 	seq      uint64
 	index    int
@@ -49,6 +58,28 @@ type Engine struct {
 	now   time.Duration
 	seq   uint64
 	fired int
+
+	// Event arena: fixed-size blocks recycled by Reset, so a reused engine
+	// schedules events without per-event heap allocations. Pointers into
+	// blocks stay valid until Reset.
+	events arena.Arena[Event]
+}
+
+// Reset returns the engine to its zero state — empty queue, time 0,
+// sequence 0 — while keeping the queue's backing array and the event arena
+// for reuse. Event pointers obtained before the Reset are invalidated:
+// the next run's events are served from the same arena blocks. Reset is
+// what makes one Engine value reusable across many simulation runs without
+// re-allocating its event storage.
+func (e *Engine) Reset() {
+	for i := range e.queue {
+		e.queue[i] = nil
+	}
+	e.queue = e.queue[:0]
+	e.now = 0
+	e.seq = 0
+	e.fired = 0
+	e.events.Reset()
 }
 
 // Now returns the current virtual time.
@@ -67,7 +98,24 @@ func (e *Engine) At(t time.Duration, priority int, fn func(now time.Duration)) *
 	if t < e.now {
 		t = e.now
 	}
-	ev := &Event{Time: t, Priority: priority, Fire: fn, seq: e.seq}
+	ev := e.events.Get()
+	ev.Time, ev.Priority, ev.Fire, ev.seq = t, priority, fn, e.seq
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// AtArg schedules fn(t, arg) like At, but through a handler that is shared
+// across events: the per-event state travels in arg instead of a captured
+// closure, so hot loops that schedule one event per task do not allocate a
+// closure per event. A pointer-typed arg also avoids the interface boxing
+// allocation.
+func (e *Engine) AtArg(t time.Duration, priority int, fn func(now time.Duration, arg any), arg any) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := e.events.Get()
+	ev.Time, ev.Priority, ev.fireArg, ev.arg, ev.seq = t, priority, fn, arg, e.seq
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
@@ -110,7 +158,11 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.Time
 		e.fired++
-		ev.Fire(e.now)
+		if ev.fireArg != nil {
+			ev.fireArg(e.now, ev.arg)
+		} else {
+			ev.Fire(e.now)
+		}
 		return true
 	}
 	return false

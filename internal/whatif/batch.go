@@ -104,14 +104,30 @@ func (c *evalCache) lookup(sample int, sched *cluster.Schedule, fp uint64) []flo
 	return nil
 }
 
-func (c *evalCache) store(sample int, sched *cluster.Schedule, fp uint64, vals []float64) {
+// store retains the (schedule, vector) pair for the batch's lifetime and
+// reports whether it did; a false return means the schedule is not pinned
+// and its storage may be recycled.
+func (c *evalCache) store(sample int, sched *cluster.Schedule, fp uint64, vals []float64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.entries[sample]) >= maxCacheEntriesPerSample {
-		return
+		return false
 	}
 	c.entries[sample] = append(c.entries[sample], evalCacheEntry{fp: fp, sched: sched, vals: vals})
+	return true
 }
+
+// Scratch is one worker's reusable evaluation state: a simulation arena
+// for the built-in Schedule Predictor and a QS scratch for deriving the
+// vector. Workers draw one from scratchPool per batch, so steady-state
+// candidate scoring performs near-zero heap allocation; sync.Pool returns
+// arenas under memory pressure, bounding retention.
+type Scratch struct {
+	sim *cluster.Sim
+	qs  qs.Scratch
+}
+
+var scratchPool = sync.Pool{New: func() any { return &Scratch{sim: cluster.NewSim()} }}
 
 // evalPairs scores every (configuration, sample) pair and returns the QS
 // vectors indexed by cfg*samples + sample. Errors are aggregated
@@ -147,19 +163,31 @@ func (m *Model) evalPairs(cfgs []cluster.Config, samples int) ([][]float64, erro
 	if workers > total {
 		workers = total
 	}
+	// Workers with a nil custom predictor run the built-in predictor
+	// through a per-worker Scratch: the simulation arena and QS buffers are
+	// recycled across that worker's pairs and returned to the shared pool
+	// afterwards. Custom predictors manage their own storage.
+	pooled := m.Predict == nil
 	if workers <= 1 {
+		var sc *Scratch
+		if pooled {
+			sc = scratchPool.Get().(*Scratch)
+		}
 		for idx := 0; idx < total; idx++ {
-			vecs[idx], errs[idx] = m.evalSample(predict, cache, traces[idx%samples], cfgs[idx/samples], idx%samples)
+			vecs[idx], errs[idx] = m.evalSample(predict, cache, sc, traces[idx%samples], cfgs[idx/samples], idx%samples)
 			if errs[idx] != nil {
 				break
 			}
+		}
+		if pooled {
+			scratchPool.Put(sc)
 		}
 	} else {
 		// Every pair runs even if one fails — that keeps the winning error
 		// independent of goroutine timing, and failures are cheap (config
 		// validation rejects them before any simulation work).
-		runIndexed(workers, total, func(idx int) {
-			vecs[idx], errs[idx] = m.evalSample(predict, cache, traces[idx%samples], cfgs[idx/samples], idx%samples)
+		runIndexedScratch(workers, total, pooled, func(idx int, sc *Scratch) {
+			vecs[idx], errs[idx] = m.evalSample(predict, cache, sc, traces[idx%samples], cfgs[idx/samples], idx%samples)
 		})
 	}
 	for idx, err := range errs {
@@ -188,18 +216,31 @@ func workersFor(parallelism, items int) int {
 // so static striping would leave workers idle. Callers record results and
 // errors by index, which keeps their aggregation order deterministic.
 func runIndexed(workers, n int, fn func(i int)) {
+	runIndexedScratch(workers, n, false, func(i int, _ *Scratch) { fn(i) })
+}
+
+// runIndexedScratch is runIndexed with an optional per-worker Scratch:
+// each worker draws one from the shared pool for its whole lifetime and
+// returns it when the fan-out drains, so scratch state is reused across
+// all of a worker's items without cross-worker sharing.
+func runIndexedScratch(workers, n int, pooled bool, fn func(i int, sc *Scratch)) {
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			var sc *Scratch
+			if pooled {
+				sc = scratchPool.Get().(*Scratch)
+				defer scratchPool.Put(sc)
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(i, sc)
 			}
 		}()
 	}
@@ -251,8 +292,20 @@ func (m *Model) genSamples(samples, workers int) ([]*workload.Trace, error) {
 // (qs.EvalStream), instead of one record scan per template. Candidates
 // whose predicted schedule is identical to one already scored for the
 // same sample reuse its vector through the batch's evalCache.
-func (m *Model) evalSample(predict Predictor, cache *evalCache, trace *workload.Trace, cfg cluster.Config, sample int) ([]float64, error) {
-	sched, err := predict(trace, cfg, m.Horizon)
+//
+// With a non-nil scratch (built-in predictor only) the prediction runs in
+// the scratch's simulation arena and the QS derivation reuses its
+// buffers: the predicted schedule borrows arena storage and is recycled
+// by the worker's next pair, unless the cache pins it — then it is
+// detached and owns its records for the batch's lifetime.
+func (m *Model) evalSample(predict Predictor, cache *evalCache, sc *Scratch, trace *workload.Trace, cfg cluster.Config, sample int) ([]float64, error) {
+	var sched *cluster.Schedule
+	var err error
+	if sc != nil {
+		sched, err = sc.sim.RunInto(trace, cfg, cluster.Options{Horizon: m.Horizon})
+	} else {
+		sched, err = predict(trace, cfg, m.Horizon)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("predicting sample %d: %w", sample, err)
 	}
@@ -263,7 +316,14 @@ func (m *Model) evalSample(predict Predictor, cache *evalCache, trace *workload.
 	if vals := cache.lookup(sample, sched, fp); vals != nil {
 		return vals, nil
 	}
-	vals := qs.EvalStream(m.Templates, sched, 0, sched.Horizon+time.Nanosecond)
-	cache.store(sample, sched, fp, vals)
+	var vals []float64
+	if sc != nil {
+		vals = qs.EvalStreamScratch(&sc.qs, m.Templates, sched, 0, sched.Horizon+time.Nanosecond)
+	} else {
+		vals = qs.EvalStream(m.Templates, sched, 0, sched.Horizon+time.Nanosecond)
+	}
+	if cache.store(sample, sched, fp, vals) && sc != nil {
+		sc.sim.Detach()
+	}
 	return vals, nil
 }

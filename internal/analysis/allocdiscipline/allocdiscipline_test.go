@@ -1,0 +1,17 @@
+package allocdiscipline_test
+
+import (
+	"testing"
+
+	"tempo/internal/analysis"
+	"tempo/internal/analysis/allocdiscipline"
+	"tempo/internal/analysis/analysistest"
+)
+
+func TestAllocDiscipline(t *testing.T) {
+	suite := []*analysis.Analyzer{allocdiscipline.Analyzer}
+	diags := analysistest.Run(t, "testdata", suite, "hot")
+	if len(diags) == 0 {
+		t.Fatalf("fixture produced no diagnostics; the positive cases are not being checked")
+	}
+}

@@ -1,0 +1,87 @@
+// Package hot is the allocdiscipline fixture: a miniature of the sim
+// engine's At/AtArg API plus every allocation pattern the analyzer
+// guards //tempo:hot functions against.
+package hot
+
+import "fmt"
+
+type Engine struct{}
+
+func (e *Engine) At(t int, fn func(now int)) {}
+
+func (e *Engine) AtArg(t int, fn func(now int, arg any), arg any) {}
+
+//tempo:hot
+func popFront(q []int) int {
+	n := 0
+	for len(q) > 0 {
+		n += q[0]
+		q = q[1:] // want `pop-front reslice`
+	}
+	return n
+}
+
+//tempo:hot
+func resliceFromZeroOK(q []int) []int {
+	q = q[0:]
+	return q
+}
+
+//tempo:hot
+func headIndexOK(q []int) int {
+	n := 0
+	for head := 0; head < len(q); head++ {
+		n += q[head]
+	}
+	return n
+}
+
+//tempo:hot
+func format(n int) string {
+	return fmt.Sprintf("%d", n) // want `fmt.Sprintf in hot path`
+}
+
+//tempo:hot
+func wrap(err error) error {
+	return fmt.Errorf("hot: %w", err) // want `fmt.Errorf in hot path`
+}
+
+//tempo:hot
+func closureEvent(e *Engine, x int) {
+	e.At(1, func(now int) { _ = x }) // want `closure passed to Engine.At`
+}
+
+//tempo:hot
+func sharedHandlerOK(e *Engine, handler func(now int, arg any), x *int) {
+	e.AtArg(1, handler, x)
+}
+
+//tempo:hot
+func boxedInt(e *Engine, handler func(now int, arg any), x int) {
+	e.AtArg(1, handler, x) // want `value of type int boxed into any`
+}
+
+type pair struct{ a, b int }
+
+//tempo:hot
+func boxedStruct(sink func(any), p pair) {
+	sink(p) // want `value of type hot.pair boxed into any`
+}
+
+//tempo:hot
+func mapNoBoxOK(sink func(any), m map[int]int) {
+	sink(m)
+}
+
+//tempo:hot
+func suppressed(n int) string {
+	//tempolint:ignore allocdiscipline one-shot setup formatting, outside the per-event loop
+	return fmt.Sprintf("%d", n)
+}
+
+// coldFormat has no annotation: nothing in it is flagged.
+func coldFormat(q []int, n int) string {
+	q = q[1:]
+	_ = q
+	return fmt.Sprintf("%d", n)
+}

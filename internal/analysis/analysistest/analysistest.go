@@ -1,0 +1,118 @@
+// Package analysistest runs tempolint analyzers over fixture packages
+// and checks their diagnostics against expectations in the fixture
+// source, following the golang.org/x/tools/go/analysis/analysistest
+// convention it re-implements without the dependency:
+//
+//   - fixtures live under <dir>/src/<importpath>/*.go and may import
+//     the standard library or sibling fixture packages;
+//   - a line expecting diagnostics carries a trailing comment
+//     `// want "re1" "re2" ...` where each quoted string is a regular
+//     expression matched against one diagnostic's message on that line;
+//   - every diagnostic must be wanted and every want must be matched,
+//     in both directions, or the test fails.
+//
+// Suppressed diagnostics (tempolint:ignore) are dropped before
+// matching, so a fixture demonstrating an accepted suppression simply
+// has a violating line, an ignore comment, and no want.
+package analysistest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"tempo/internal/analysis"
+	"tempo/internal/analysis/load"
+)
+
+// Run loads each fixture package from dir/src and applies the
+// analyzers, reporting expectation mismatches on t. It returns the
+// unsuppressed diagnostics for optional further assertions.
+func Run(t *testing.T, dir string, analyzers []*analysis.Analyzer, pkgs ...string) []analysis.Diagnostic {
+	t.Helper()
+	l := load.NewFixture([]string{dir + "/src"})
+	diags, err := analysis.Run(l, pkgs, analyzers, analysis.Options{ReportUnusedIgnores: true})
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	var live []analysis.Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			live = append(live, d)
+		}
+	}
+	wants := collectWants(t, l, pkgs)
+	matchDiags(t, live, wants)
+	return live
+}
+
+// want is one expectation: a regexp on a specific file line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quoted matches one expectation pattern: a Go-style double-quoted
+// string or a backquoted raw string.
+var quoted = regexp.MustCompile("`([^`]*)`" + `|"((?:[^"\\]|\\.)*)"`)
+
+func collectWants(t *testing.T, l *load.Loader, pkgs []string) []*want {
+	t.Helper()
+	var wants []*want
+	for _, path := range pkgs {
+		pkg, err := l.LoadPackage(path)
+		if err != nil {
+			t.Fatalf("reloading fixture %s: %v", path, err)
+		}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := l.Fset.Position(c.Pos())
+					for _, q := range quoted.FindAllStringSubmatch(m[1], -1) {
+						text := q[1]
+						if text == "" {
+							text = strings.ReplaceAll(q[2], `\"`, `"`)
+						}
+						re, err := regexp.Compile(text)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, text, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: text})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func matchDiags(t *testing.T, diags []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("no diagnostic at %s:%d matching %q", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"tempo/internal/analysis"
+	"tempo/internal/analysis/analysistest"
+	"tempo/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	suite := []*analysis.Analyzer{determinism.Analyzer}
+	diags := analysistest.Run(t, "testdata", suite, "a", "b", "ignored")
+	if len(diags) == 0 {
+		t.Fatalf("fixture produced no diagnostics; the positive cases are not being checked")
+	}
+}
+
+func TestScopeIsDeclaredPackages(t *testing.T) {
+	// The golden-locked packages must all be in scope: losing one to a
+	// refactor would silently turn the analyzer off for it.
+	want := []string{
+		"tempo/internal/cluster",
+		"tempo/internal/sim",
+		"tempo/internal/qs",
+		"tempo/internal/scenario",
+		"tempo/internal/whatif",
+		"tempo/internal/workload",
+	}
+	have := map[string]bool{}
+	for _, p := range determinism.DeterministicPkgs {
+		have[p] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("deterministic package %s missing from scope", w)
+		}
+	}
+}

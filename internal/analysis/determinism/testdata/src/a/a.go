@@ -1,0 +1,133 @@
+// Package a is the determinism positive fixture: every construct the
+// analyzer must catch, plus the accepted idioms beside each.
+//
+//tempolint:deterministic
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func appendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append inside range over map`
+	}
+	return out
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation inside range over map`
+	}
+	return sum
+}
+
+func intAccumOK(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func send(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside range over map`
+	}
+}
+
+func earlyReturn(m map[string]int) int {
+	for _, v := range m {
+		if v > 0 {
+			return v // want `return inside range over map`
+		}
+	}
+	return 0
+}
+
+func breakOut(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > 10 {
+			best = v
+			break // want `break inside range over map`
+		}
+	}
+	return best
+}
+
+func nestedBreakOK(m map[string]int, xs []int) int {
+	n := 0
+	for range m {
+		for _, x := range xs {
+			if x > 0 {
+				break
+			}
+			n++
+		}
+	}
+	return n
+}
+
+func closureReturnOK(m map[string]int) []func() int {
+	fns := make(map[int]func() int, len(m))
+	for _, v := range m {
+		v := v
+		fns[v] = func() int { return v }
+	}
+	return nil
+}
+
+func writeOutput(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want `writing output inside range over map`
+	}
+}
+
+func wallClock() time.Time {
+	return time.Now() // want `time.Now in deterministic code`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand source in deterministic code`
+}
+
+func seededRandOK(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+func newRandOK() *rand.Rand {
+	return rand.New(rand.NewSource(1))
+}
+
+func twoReady(a, b chan int) int {
+	select { // want `select with 2 communication cases in deterministic code`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func oneCaseSelectOK(a chan int, quit chan struct{}) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,18 @@
+// Package b has no tempolint:deterministic directive and is not one of
+// the module's deterministic packages: the same constructs package a is
+// flagged for must pass untouched here.
+package b
+
+import "time"
+
+func wallClockOK() time.Time {
+	return time.Now()
+}
+
+func appendFromMapOK(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+// Package ignored demonstrates an accepted suppression: the violation
+// is real, the ignore names the analyzer and carries a reason, so no
+// diagnostic survives.
+//
+//tempolint:deterministic
+package ignored
+
+import "time"
+
+func stamp() time.Time {
+	//tempolint:ignore determinism wall-clock feeds operator logging only, never simulation state
+	return time.Now()
+}

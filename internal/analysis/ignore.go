@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// An Ignore is one parsed "//tempolint:ignore <analyzer> <reason>"
+// comment.
+type Ignore struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+	// used is set when the ignore suppressed at least one diagnostic.
+	used bool
+}
+
+const ignorePrefix = "//tempolint:ignore"
+
+// collectIgnores scans a pass's files for ignore comments. Malformed
+// ignores (no analyzer, or no reason) are reported as diagnostics of
+// the pseudo-analyzer "tempolint" so they cannot silently rot.
+func collectIgnores(p *Pass) []*Ignore {
+	var out []*Ignore
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				pos := p.Fset.Position(c.Pos())
+				if name == "" || reason == "" {
+					*p.diags = append(*p.diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "tempolint",
+						Message:  "malformed tempolint:ignore: want \"//tempolint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				out = append(out, &Ignore{Pos: pos, Analyzer: name, Reason: reason})
+			}
+		}
+	}
+	return out
+}
+
+// suppress marks diagnostics matched by an ignore: same file, same
+// analyzer, and the ignore sits on the flagged line or the line
+// directly above it.
+func suppress(diags []Diagnostic, ignores []*Ignore) {
+	for i := range diags {
+		d := &diags[i]
+		if d.Analyzer == "tempolint" {
+			continue
+		}
+		for _, ig := range ignores {
+			if ig.Analyzer != d.Analyzer || ig.Pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if ig.Pos.Line == d.Pos.Line || ig.Pos.Line == d.Pos.Line-1 {
+				d.Suppressed = true
+				d.Reason = ig.Reason
+				ig.used = true
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"tempo/internal/analysis"
+	"tempo/internal/analysis/determinism"
+	"tempo/internal/analysis/load"
+)
+
+// TestIgnoreHygiene drives the full ignore lifecycle over the hygiene
+// fixture: malformed ignores and unused ignores are reported as
+// "tempolint" diagnostics, a matching ignore suppresses its finding and
+// records the reason, and an unsuppressed finding stays live.
+func TestIgnoreHygiene(t *testing.T) {
+	l := load.NewFixture([]string{"testdata/src"})
+	suite := []*analysis.Analyzer{determinism.Analyzer}
+	diags, err := analysis.Run(l, []string{"hygiene"}, suite, analysis.Options{ReportUnusedIgnores: true})
+	if err != nil {
+		t.Fatalf("loading hygiene fixture: %v", err)
+	}
+
+	var malformed, unused, suppressed, live int
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "tempolint" && strings.Contains(d.Message, "malformed"):
+			malformed++
+		case d.Analyzer == "tempolint" && strings.Contains(d.Message, "unused"):
+			unused++
+			if !strings.Contains(d.Message, `"determinism"`) {
+				t.Errorf("unused-ignore diagnostic does not name the analyzer: %s", d)
+			}
+		case d.Suppressed:
+			suppressed++
+			if d.Reason != "fixture: wall clock wanted here" {
+				t.Errorf("suppressed diagnostic carries wrong reason %q", d.Reason)
+			}
+		default:
+			live++
+			if !strings.Contains(d.Message, "time.Now") {
+				t.Errorf("unexpected live diagnostic: %s", d)
+			}
+		}
+	}
+	if malformed != 2 {
+		t.Errorf("malformed-ignore diagnostics = %d, want 2 (no-analyzer and no-reason forms)", malformed)
+	}
+	if unused != 1 {
+		t.Errorf("unused-ignore diagnostics = %d, want 1", unused)
+	}
+	if suppressed != 1 {
+		t.Errorf("suppressed diagnostics = %d, want 1", suppressed)
+	}
+	if live != 1 {
+		t.Errorf("live diagnostics = %d, want 1 (the unsuppressed time.Now)", live)
+	}
+}
+
+// TestIgnoreHygieneWithoutUnusedReporting checks that subset runs,
+// which set ReportUnusedIgnores=false, do not flag other analyzers'
+// ignores as unused — only malformed ones are still reported.
+func TestIgnoreHygieneWithoutUnusedReporting(t *testing.T) {
+	l := load.NewFixture([]string{"testdata/src"})
+	suite := []*analysis.Analyzer{determinism.Analyzer}
+	diags, err := analysis.Run(l, []string{"hygiene"}, suite, analysis.Options{})
+	if err != nil {
+		t.Fatalf("loading hygiene fixture: %v", err)
+	}
+	for _, d := range diags {
+		if d.Analyzer == "tempolint" && strings.Contains(d.Message, "unused") {
+			t.Errorf("unused-ignore reported despite ReportUnusedIgnores=false: %s", d)
+		}
+	}
+}

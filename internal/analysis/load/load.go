@@ -1,0 +1,322 @@
+// Package load type-checks packages of this module (plus their standard
+// library dependencies) using only the standard library toolchain —
+// go/build for build-constraint-aware file selection, go/parser, and
+// go/types. It exists because the repo takes no module dependencies:
+// tempolint cannot import golang.org/x/tools/go/packages, so it carries
+// its own loader with the same essential contract (ASTs + full type
+// information for target packages, export-level type info for
+// dependencies).
+//
+// Dependencies are type-checked with IgnoreFuncBodies (only their
+// exported shape matters), so loading the whole module costs about a
+// second. Target packages are parsed with comments and checked with
+// bodies, producing the types.Info analyzers consume.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one fully loaded target package.
+type Package struct {
+	// Path is the import path ("tempo/internal/qs", or the fixture path
+	// under an extra source root).
+	Path string
+	// Dir is the directory holding the package's files.
+	Dir string
+	// Files are the parsed non-test Go files, with comments.
+	Files []*ast.File
+	// Types and Info carry the go/types result for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader resolves, parses, and type-checks packages. It is not safe for
+// concurrent use. Results are cached per Loader, so loading many target
+// packages shares one pass over the standard library.
+type Loader struct {
+	Fset *token.FileSet
+	// ModRoot/ModPath locate the module ("tempo" at the repo root). They
+	// may be empty when loading only fixture packages.
+	ModRoot string
+	ModPath string
+	// SrcDirs are extra source roots searched after GOROOT and the
+	// module: an import path p resolves to dir SrcDirs[i]/p. This is the
+	// analysistest fixture layout (testdata/src/<path>).
+	SrcDirs []string
+
+	ctxt    build.Context
+	deps    map[string]*types.Package // bodyless packages, for imports
+	loading map[string]bool
+}
+
+// New returns a Loader rooted at the module containing dir (found by
+// walking up to the nearest go.mod). dir may be empty for the current
+// working directory.
+func New(dir string) (*Loader, error) {
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return nil, err
+		}
+		dir = wd
+	}
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := NewFixture(nil)
+	l.ModRoot = root
+	l.ModPath = modPath
+	return l, nil
+}
+
+// NewFixture returns a Loader with no module, resolving non-stdlib
+// imports against the given source roots.
+func NewFixture(srcDirs []string) *Loader {
+	ctxt := build.Default
+	// The repo is pure Go; disabling cgo makes go/build select the
+	// portable fallback files in std packages like net, which is the only
+	// way to type-check them from source without running the cgo tool.
+	ctxt.CgoEnabled = false
+	return &Loader{
+		Fset:    token.NewFileSet(),
+		SrcDirs: srcDirs,
+		ctxt:    ctxt,
+		deps:    map[string]*types.Package{},
+		loading: map[string]bool{},
+	}
+}
+
+func findModule(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("load: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("load: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// dirFor maps an import path to its source directory. GOROOT (including
+// the std vendor tree) wins, then the module, then the extra roots.
+func (l *Loader) dirFor(path string) (string, bool) {
+	goroot := runtime.GOROOT()
+	if d := filepath.Join(goroot, "src", "vendor", path); isDir(d) {
+		return d, true
+	}
+	if d := filepath.Join(goroot, "src", path); isDir(d) {
+		return d, true
+	}
+	if l.ModPath != "" {
+		if path == l.ModPath {
+			return l.ModRoot, true
+		}
+		if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+			if d := filepath.Join(l.ModRoot, filepath.FromSlash(rest)); isDir(d) {
+				return d, true
+			}
+		}
+	}
+	for _, root := range l.SrcDirs {
+		if d := filepath.Join(root, filepath.FromSlash(path)); isDir(d) {
+			return d, true
+		}
+	}
+	return "", false
+}
+
+func isDir(d string) bool {
+	fi, err := os.Stat(d)
+	return err == nil && fi.IsDir()
+}
+
+// Import implements types.Importer over the dependency cache; imported
+// packages are checked without function bodies.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.deps[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("load: cannot resolve import %q (module has no external dependencies)", path)
+	}
+	files, err := l.parseDir(path, dir, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: l, IgnoreFuncBodies: true, FakeImportC: true}
+	pkg, err := conf.Check(path, l.Fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking dependency %s: %w", path, err)
+	}
+	l.deps[path] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) parseDir(path, dir string, mode parser.Mode) ([]*ast.File, error) {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %w", path, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// LoadPackage parses (with comments) and fully type-checks one package
+// for analysis. Its dependencies come from the bodyless cache, so two
+// target packages that import each other each see a consistent view.
+func (l *Loader) LoadPackage(path string) (*Package, error) {
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("load: cannot resolve package %q", path)
+	}
+	files, err := l.parseDir(path, dir, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l, FakeImportC: true}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Types: pkg, Info: info}, nil
+}
+
+// Expand resolves command-line patterns ("./...", "./internal/qs",
+// "tempo/internal/...") into the sorted list of buildable package import
+// paths. Directories named testdata, or starting with "." or "_", are
+// never walked.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := l.walk(l.ModRoot, l.ModPath, add); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			dir, imp, err := l.resolvePattern(base)
+			if err != nil {
+				return nil, err
+			}
+			if err := l.walk(dir, imp, add); err != nil {
+				return nil, err
+			}
+		default:
+			_, imp, err := l.resolvePattern(pat)
+			if err != nil {
+				return nil, err
+			}
+			add(imp)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// resolvePattern maps one non-wildcard pattern to (dir, importPath).
+func (l *Loader) resolvePattern(pat string) (dir, imp string, err error) {
+	if strings.HasPrefix(pat, "./") || pat == "." {
+		rel := strings.TrimPrefix(pat, "./")
+		dir = filepath.Join(l.ModRoot, filepath.FromSlash(rel))
+		imp = l.ModPath
+		if rel != "" && rel != "." {
+			imp = l.ModPath + "/" + rel
+		}
+		if !isDir(dir) {
+			return "", "", fmt.Errorf("load: no such package directory %s", dir)
+		}
+		return dir, imp, nil
+	}
+	if d, ok := l.dirFor(pat); ok {
+		return d, pat, nil
+	}
+	return "", "", fmt.Errorf("load: cannot resolve pattern %q", pat)
+}
+
+func (l *Loader) walk(root, rootImp string, add func(string)) error {
+	return filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if _, err := l.ctxt.ImportDir(p, 0); err != nil {
+			// Not a buildable package (for example a directory holding
+			// only non-Go files); keep walking below it.
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		imp := rootImp
+		if rel != "." {
+			imp = rootImp + "/" + filepath.ToSlash(rel)
+		}
+		add(imp)
+		return nil
+	})
+}

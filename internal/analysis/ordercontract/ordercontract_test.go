@@ -1,0 +1,17 @@
+package ordercontract_test
+
+import (
+	"testing"
+
+	"tempo/internal/analysis"
+	"tempo/internal/analysis/analysistest"
+	"tempo/internal/analysis/ordercontract"
+)
+
+func TestOrderContract(t *testing.T) {
+	suite := []*analysis.Analyzer{ordercontract.Analyzer}
+	diags := analysistest.Run(t, "testdata", suite, "order")
+	if len(diags) == 0 {
+		t.Fatalf("fixture produced no diagnostics; the positive cases are not being checked")
+	}
+}

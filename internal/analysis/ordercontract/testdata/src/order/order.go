@@ -1,0 +1,117 @@
+// Package order is the ordercontract fixture: a miniature of the
+// canonical event stream (Schedule.Events, ordered by Time/Kind/Seq)
+// and its consumers, correct and contract-breaking.
+package order
+
+import (
+	"sort"
+	"time"
+)
+
+type Event struct {
+	Time time.Duration
+	Kind uint8
+	Seq  int
+}
+
+type Schedule struct{ events []Event }
+
+func (s *Schedule) Events() []Event { return s.events }
+
+func (s *Schedule) AppendEvents(buf *[]Event) []Event { return s.events }
+
+func resort(s *Schedule) {
+	ev := s.Events()
+	sort.Slice(ev, func(i, j int) bool { return ev[i].Seq < ev[j].Seq }) // want `re-sorting a canonical event stream`
+}
+
+func resortDirect(s *Schedule) {
+	sort.Slice(s.Events(), func(i, j int) bool { return true }) // want `re-sorting a canonical event stream`
+}
+
+func resortBuffered(s *Schedule, buf *[]Event) {
+	ev := s.AppendEvents(buf)
+	sort.SliceStable(ev, func(i, j int) bool { return ev[i].Time < ev[j].Time }) // want `re-sorting a canonical event stream`
+}
+
+func sortOtherSliceOK(xs []int) {
+	sort.Ints(xs)
+}
+
+func concurrentAppend(s *Schedule) {
+	ev := s.Events()
+	done := make(chan struct{})
+	go func() {
+		ev = append(ev, Event{}) // want `concurrent append to canonical event stream`
+		close(done)
+	}()
+	<-done
+	_ = ev
+}
+
+func concurrentWrite(s *Schedule) {
+	ev := s.Events()
+	done := make(chan struct{})
+	go func() {
+		ev[0] = Event{} // want `write into canonical event stream`
+		close(done)
+	}()
+	<-done
+}
+
+func goroutineLocalStreamOK(s *Schedule) {
+	done := make(chan struct{})
+	go func() {
+		ev := s.Events()
+		ev = append(ev, Event{})
+		_ = ev
+		close(done)
+	}()
+	<-done
+}
+
+func windowInclusiveTo(s *Schedule, from, to time.Duration) int {
+	n := 0
+	for _, e := range s.Events() {
+		if e.Time >= from && e.Time <= to { // want `Event.Time <= to violates the half-open`
+			n++
+		}
+	}
+	return n
+}
+
+func windowExclusiveFrom(s *Schedule, from time.Duration) int {
+	n := 0
+	for _, e := range s.Events() {
+		if e.Time > from { // want `Event.Time > from violates the half-open`
+			n++
+		}
+	}
+	return n
+}
+
+func windowReversedOperands(s *Schedule, to time.Duration) int {
+	n := 0
+	for _, e := range s.Events() {
+		if to >= e.Time { // want `Event.Time <= to violates the half-open`
+			n++
+		}
+	}
+	return n
+}
+
+func windowOK(s *Schedule, from, to time.Duration) int {
+	n := 0
+	for _, e := range s.Events() {
+		if e.Time >= from && e.Time < to {
+			n++
+		}
+	}
+	return n
+}
+
+func resortSuppressed(s *Schedule) {
+	ev := s.Events()
+	//tempolint:ignore ordercontract fixture: re-sort by the canonical key itself, proven identical in tests
+	sort.SliceStable(ev, func(i, j int) bool { return ev[i].Time < ev[j].Time })
+}

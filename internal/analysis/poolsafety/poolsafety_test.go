@@ -1,0 +1,17 @@
+package poolsafety_test
+
+import (
+	"testing"
+
+	"tempo/internal/analysis"
+	"tempo/internal/analysis/analysistest"
+	"tempo/internal/analysis/poolsafety"
+)
+
+func TestPoolSafety(t *testing.T) {
+	suite := []*analysis.Analyzer{poolsafety.Analyzer}
+	diags := analysistest.Run(t, "testdata", suite, "pool")
+	if len(diags) == 0 {
+		t.Fatalf("fixture produced no diagnostics; the positive cases are not being checked")
+	}
+}

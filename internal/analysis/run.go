@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"tempo/internal/analysis/load"
+)
+
+// Options configure a Run.
+type Options struct {
+	// ReportUnusedIgnores adds a "tempolint" diagnostic for every ignore
+	// comment that suppressed nothing. Only meaningful when the full
+	// analyzer suite runs (a subset run would see other analyzers'
+	// ignores as unused).
+	ReportUnusedIgnores bool
+}
+
+// Run loads each package path and applies every analyzer, returning all
+// diagnostics (suppressed ones included, marked) sorted by position.
+func Run(l *load.Loader, paths []string, analyzers []*Analyzer, opts Options) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, path := range paths {
+		pkg, err := l.LoadPackage(path)
+		if err != nil {
+			return nil, err
+		}
+		diags, err := runPackage(l, pkg, analyzers, opts)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	all = dedup(all)
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}
+
+// dedup drops exact repeats (same position, analyzer, and message) —
+// nested constructs can legitimately trip the same rule twice.
+func dedup(diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file          string
+		line, col     int
+		analyzer, msg string
+	}
+	seen := map[key]bool{}
+	out := diags[:0]
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func runPackage(l *load.Loader, pkg *load.Package, analyzers []*Analyzer, opts Options) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	var ignores []*Ignore
+	for i, az := range analyzers {
+		pass := &Pass{
+			Analyzer:  az,
+			Fset:      l.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if i == 0 {
+			// Ignores (and malformed-ignore diagnostics) are
+			// per-package, not per-analyzer; collect them once.
+			ignores = collectIgnores(pass)
+		}
+		if err := az.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", az.Name, pkg.Path, err)
+		}
+	}
+	suppress(diags, ignores)
+	if opts.ReportUnusedIgnores {
+		for _, ig := range ignores {
+			if !ig.used {
+				diags = append(diags, Diagnostic{
+					Pos:      ig.Pos,
+					Analyzer: "tempolint",
+					Message:  fmt.Sprintf("unused tempolint:ignore for %q: nothing is reported here; delete the comment", ig.Analyzer),
+				})
+			}
+		}
+	}
+	return diags, nil
+}

@@ -1,0 +1,28 @@
+// Package hygiene exercises the ignore-comment lifecycle itself:
+// malformed ignores, unused ignores, and a correctly used one. It is
+// checked programmatically by ignore_test.go rather than with // want
+// comments, because the diagnostics under test attach to the ignore
+// comments themselves.
+//
+//tempolint:deterministic
+package hygiene
+
+import "time"
+
+//tempolint:ignore
+func malformedNoAnalyzer() {}
+
+//tempolint:ignore determinism
+func malformedNoReason() {}
+
+//tempolint:ignore determinism nothing on the next line ever trips this
+func unusedIgnore() {}
+
+func usedIgnore() time.Time {
+	//tempolint:ignore determinism fixture: wall clock wanted here
+	return time.Now()
+}
+
+func unsuppressed() time.Time {
+	return time.Now()
+}

@@ -78,18 +78,31 @@ func (c *Config) Validate() error {
 	if c.TotalContainers <= 0 {
 		return fmt.Errorf("cluster: non-positive capacity %d", c.TotalContainers)
 	}
+	// Map iteration order is random; report the lexically smallest
+	// offending tenant so the same bad config always yields the same
+	// error, without sorting (Validate runs on every RunInto).
+	bad := ""
 	for name, tc := range c.Tenants {
-		if tc.Weight <= 0 {
-			return fmt.Errorf("cluster: tenant %s has non-positive weight %g", name, tc.Weight)
+		if bad != "" && name >= bad {
+			continue
 		}
-		if tc.MinShare < 0 || tc.MaxShare < 0 {
-			return fmt.Errorf("cluster: tenant %s has negative share limit", name)
+		if tc.Weight <= 0 || tc.MinShare < 0 || tc.MaxShare < 0 ||
+			(tc.MaxShare > 0 && tc.MinShare > tc.MaxShare) ||
+			tc.SharePreemptTimeout < 0 || tc.MinSharePreemptTimeout < 0 {
+			bad = name
 		}
-		if tc.MaxShare > 0 && tc.MinShare > tc.MaxShare {
-			return fmt.Errorf("cluster: tenant %s min share %d exceeds max share %d", name, tc.MinShare, tc.MaxShare)
-		}
-		if tc.SharePreemptTimeout < 0 || tc.MinSharePreemptTimeout < 0 {
-			return fmt.Errorf("cluster: tenant %s has negative preemption timeout", name)
+	}
+	if bad != "" {
+		tc := c.Tenants[bad]
+		switch {
+		case tc.Weight <= 0:
+			return fmt.Errorf("cluster: tenant %s has non-positive weight %g", bad, tc.Weight)
+		case tc.MinShare < 0 || tc.MaxShare < 0:
+			return fmt.Errorf("cluster: tenant %s has negative share limit", bad)
+		case tc.MaxShare > 0 && tc.MinShare > tc.MaxShare:
+			return fmt.Errorf("cluster: tenant %s min share %d exceeds max share %d", bad, tc.MinShare, tc.MaxShare)
+		default:
+			return fmt.Errorf("cluster: tenant %s has negative preemption timeout", bad)
 		}
 	}
 	return nil

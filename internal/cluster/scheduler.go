@@ -302,6 +302,11 @@ func (s *scheduler) init(trace *workload.Trace, cfg Config, opts Options) {
 	}
 }
 
+// run drives the event loop to completion (or the horizon). Together
+// with the handlers below it is the what-if inner loop's simulation
+// kernel, alloc-gated by BENCH_5.json.
+//
+//tempo:hot
 func (s *scheduler) run() *Schedule {
 	if s.opts.Horizon > 0 {
 		s.engine.RunUntil(s.opts.Horizon)
@@ -315,6 +320,8 @@ func (s *scheduler) run() *Schedule {
 
 // submit admits a job: record it, unlock dependency-free stages, enqueue
 // their tasks, and try to place work.
+//
+//tempo:hot
 func (s *scheduler) submit(now time.Duration, spec *workload.JobSpec) {
 	jr := s.jobRuns.Get()
 	jr.spec = spec
@@ -362,6 +369,8 @@ func (s *scheduler) unlockStage(ts *tenantState, jr *jobRun, stage int) {
 // assign places pending tasks onto free containers following fair-scheduler
 // order: tenants below their min share first (most deficient relative to
 // the floor), then tenants most below their weighted fair share.
+//
+//tempo:hot
 func (s *scheduler) assign(now time.Duration) {
 	if s.free > 0 {
 		s.computeFairShares()
@@ -382,6 +391,8 @@ func (s *scheduler) assign(now time.Duration) {
 // tenant (as in YARN's fair-share comparator) so synchronized task waves
 // don't systematically skew the split, then to the lexicographically
 // smaller name for determinism.
+//
+//tempo:hot
 func (s *scheduler) pickTenant() *tenantState {
 	var best *tenantState
 	var bestBelowMin bool
@@ -410,6 +421,8 @@ func (s *scheduler) pickTenant() *tenantState {
 }
 
 // launch starts the tenant's next pending task in a free container.
+//
+//tempo:hot
 func (s *scheduler) launch(now time.Duration, ts *tenantState) {
 	t := s.popPending(ts)
 	if t == nil {

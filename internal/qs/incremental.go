@@ -116,6 +116,8 @@ type Scratch struct {
 // the scratch. The returned accumulator aliases scratch storage (and the
 // caller's template slice), so it is only valid until the scratch's next
 // use — evaluate and drop it.
+//
+//tempo:hot
 func (sc *Scratch) accumulate(templates []Template, s *cluster.Schedule) *Accumulator {
 	a := &Accumulator{templates: templates, capacity: s.Capacity}
 	a.jobs = sc.jobs[:0]
@@ -161,6 +163,8 @@ func EvalStream(templates []Template, s *cluster.Schedule, from, to time.Duratio
 // returned vector is freshly allocated (callers retain it); everything
 // intermediate is recycled. Results are bit-identical to EvalStream's.
 // A nil scratch falls back to EvalStream.
+//
+//tempo:hot
 func EvalStreamScratch(sc *Scratch, templates []Template, s *cluster.Schedule, from, to time.Duration) []float64 {
 	if sc == nil {
 		return EvalStream(templates, s, from, to)
@@ -177,6 +181,8 @@ func EvalStreamScratch(sc *Scratch, templates []Template, s *cluster.Schedule, f
 // before sealing; order does not matter (events carry their record
 // index), but Observe must not run concurrently with Seal or the first
 // query. Calls after the accumulator is sealed are ignored.
+//
+//tempo:hot
 func (a *Accumulator) Observe(ev cluster.Event) {
 	if a.sealed.Load() {
 		return

@@ -475,11 +475,17 @@ func (in *InitialSpec) Config(capacity int, tenants []string) (cluster.Config, e
 	for _, name := range tenants {
 		known[name] = true
 	}
+	// Report the lexically smallest unknown tenant: map iteration order
+	// is random, and a spec error message must not vary across runs.
+	unknown := ""
 	for name := range cfg.Tenants {
-		if !known[name] {
-			return cluster.Config{}, fmt.Errorf("scenario: initial config names unknown tenant %q (scenario tenants: %s)",
-				name, strings.Join(tenants, ", "))
+		if !known[name] && (unknown == "" || name < unknown) {
+			unknown = name
 		}
+	}
+	if unknown != "" {
+		return cluster.Config{}, fmt.Errorf("scenario: initial config names unknown tenant %q (scenario tenants: %s)",
+			unknown, strings.Join(tenants, ", "))
 	}
 	return cfg, cfg.Validate()
 }

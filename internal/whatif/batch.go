@@ -140,6 +140,8 @@ var scratchPool = sync.Pool{New: func() any { return &Scratch{sim: cluster.NewSi
 // trace by construction, so regenerating it per (cfg, sample) pair — C×S
 // generations instead of S — was pure waste; in windowed mode each
 // generation is a full synthetic workload draw.
+//
+//tempo:hot
 func (m *Model) evalPairs(cfgs []cluster.Config, samples int) ([][]float64, error) {
 	predict := m.Predict
 	if predict == nil {
@@ -151,8 +153,10 @@ func (m *Model) evalPairs(cfgs []cluster.Config, samples int) ([][]float64, erro
 		// winning (lowest-sample) error is deterministically attributed to
 		// config 0 and reported before any prediction error.
 		if len(cfgs) > 1 {
+			//tempolint:ignore allocdiscipline cold error exit, runs at most once per batch
 			return nil, fmt.Errorf("whatif: config 0: %w", err)
 		}
+		//tempolint:ignore allocdiscipline cold error exit, runs at most once per batch
 		return nil, fmt.Errorf("whatif: %w", err)
 	}
 	total := len(cfgs) * samples
@@ -193,8 +197,10 @@ func (m *Model) evalPairs(cfgs []cluster.Config, samples int) ([][]float64, erro
 	for idx, err := range errs {
 		if err != nil {
 			if len(cfgs) > 1 {
+				//tempolint:ignore allocdiscipline cold error exit, runs at most once per batch
 				return nil, fmt.Errorf("whatif: config %d: %w", idx/samples, err)
 			}
+			//tempolint:ignore allocdiscipline cold error exit, runs at most once per batch
 			return nil, fmt.Errorf("whatif: %w", err)
 		}
 	}
@@ -298,6 +304,8 @@ func (m *Model) genSamples(samples, workers int) ([]*workload.Trace, error) {
 // buffers: the predicted schedule borrows arena storage and is recycled
 // by the worker's next pair, unless the cache pins it — then it is
 // detached and owns its records for the batch's lifetime.
+//
+//tempo:hot
 func (m *Model) evalSample(predict Predictor, cache *evalCache, sc *Scratch, trace *workload.Trace, cfg cluster.Config, sample int) ([]float64, error) {
 	var sched *cluster.Schedule
 	var err error
@@ -307,9 +315,11 @@ func (m *Model) evalSample(predict Predictor, cache *evalCache, sc *Scratch, tra
 		sched, err = predict(trace, cfg, m.Horizon)
 	}
 	if err != nil {
+		//tempolint:ignore allocdiscipline cold error exit, never on the scored pair path
 		return nil, fmt.Errorf("predicting sample %d: %w", sample, err)
 	}
 	if sched == nil {
+		//tempolint:ignore allocdiscipline cold error exit, never on the scored pair path
 		return nil, fmt.Errorf("predicting sample %d: predictor returned a nil schedule", sample)
 	}
 	fp := sched.Fingerprint()

@@ -31,7 +31,10 @@ func BenchmarkServiceThroughput(b *testing.B) {
 			var allocsPerTick, bytesPerTick float64
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				svc := service.New(service.Config{})
+				svc, err := service.New(service.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
 				ts := httptest.NewServer(svc.Handler())
 				// Capture the serving process's heap traffic across the
 				// drive (server and client share the process; ticks

@@ -66,7 +66,10 @@ func run(addr, specPath string, clusters, workers int, rate float64, qsEvery, wi
 	}
 
 	if addr == "" {
-		svc := service.New(service.Config{Shards: shards, WorkersPerShard: shardWorkers})
+		svc, err := service.New(service.Config{Shards: shards, WorkersPerShard: shardWorkers})
+		if err != nil {
+			return err
+		}
 		defer svc.Close()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {

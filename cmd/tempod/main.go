@@ -6,6 +6,7 @@
 // Usage:
 //
 //	tempod -addr :8080 -shards 4 -workers 2
+//	tempod -addr :8080 -data /var/lib/tempod   # durable control plane
 //
 // Create a cluster from a scenario spec, then drive it:
 //
@@ -21,6 +22,12 @@
 // shards × workers no matter how many clusters are resident. Ticks on one
 // cluster are serialized; reports remain bit-identical to sequential
 // scenario runs (cmd/loadgen asserts this under concurrent traffic).
+//
+// With -data set, every committed tick is logged to a per-cluster
+// schedule-event WAL and the control loop is snapshotted periodically; a
+// crashed or killed tempod recovers every cluster on restart to a
+// trajectory byte-identical to an uninterrupted run (see README,
+// "Durability").
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"time"
 
 	"tempo/internal/service"
+	"tempo/internal/store"
 )
 
 func main() {
@@ -45,24 +53,77 @@ func main() {
 		queue    = flag.Int("queue", 64, "pending-tick queue depth per shard")
 		par      = flag.Int("parallelism", 1, "per-cluster what-if worker pool (results identical for any value)")
 		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+
+		dataDir    = flag.String("data", "", "data directory for durable cluster state (snapshot + WAL); empty disables durability")
+		fsyncEvery = flag.Duration("fsync-interval", 50*time.Millisecond, "WAL group-commit window (with -data); 0 fsyncs every append")
+		fsyncBytes = flag.Int("fsync-bytes", 1<<20, "WAL dirty-byte threshold forcing an fsync (with -data)")
+		snapEvery  = flag.Int("snapshot-every", 8, "control-loop snapshot period in ticks (with -data)")
+		drain      = flag.Duration("drain-timeout", 5*time.Second, "shutdown deadline for draining queued and in-flight ticks")
 	)
 	flag.Parse()
-	if err := run(*addr, *shards, *workers, *queue, *par, *pprofSrv); err != nil {
+	err := run(runConfig{
+		addr: *addr, shards: *shards, workers: *workers, queue: *queue,
+		parallelism: *par, pprofAddr: *pprofSrv,
+		dataDir: *dataDir, fsyncInterval: *fsyncEvery, fsyncBytes: *fsyncBytes,
+		snapshotEvery: *snapEvery, drainTimeout: *drain,
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tempod:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, shards, workers, queue, parallelism int, pprofAddr string) error {
-	svc := service.New(service.Config{
-		Shards:          shards,
-		WorkersPerShard: workers,
-		QueueDepth:      queue,
-		Parallelism:     parallelism,
-	})
-	defer svc.Close()
+type runConfig struct {
+	addr            string
+	shards, workers int
+	queue           int
+	parallelism     int
+	pprofAddr       string
 
-	if pprofAddr != "" {
+	dataDir       string
+	fsyncInterval time.Duration
+	fsyncBytes    int
+	snapshotEvery int
+	drainTimeout  time.Duration
+}
+
+func run(cfg runConfig) error {
+	var st *store.Store
+	if cfg.dataDir != "" {
+		var err error
+		st, err = store.Open(cfg.dataDir, store.Options{
+			SyncInterval: cfg.fsyncInterval,
+			SyncBytes:    cfg.fsyncBytes,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	svc, err := service.New(service.Config{
+		Shards:          cfg.shards,
+		WorkersPerShard: cfg.workers,
+		QueueDepth:      cfg.queue,
+		Parallelism:     cfg.parallelism,
+		Store:           st,
+		SnapshotEvery:   cfg.snapshotEvery,
+		DrainTimeout:    cfg.drainTimeout,
+	})
+	if err != nil {
+		if st != nil {
+			st.Close()
+		}
+		return err
+	}
+	// Deferred last: runs after the API and pprof listeners are down, so
+	// no new ticks can arrive while it drains the shard queues (bounded by
+	// -drain-timeout) and flushes + closes the store.
+	defer svc.Close()
+	if st != nil {
+		fmt.Printf("tempod: durable state in %s (%d clusters recovered)\n", cfg.dataDir, len(svc.List()))
+	}
+
+	var pprofServer *http.Server
+	if cfg.pprofAddr != "" {
 		// Profiling stays off the service listener (and off by default):
 		// tempod's API may face untrusted clients, while /debug/pprof is an
 		// operator tool. Perf work measures here instead of guessing —
@@ -74,30 +135,42 @@ func run(addr string, shards, workers, queue, parallelism int, pprofAddr string)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofServer = &http.Server{Addr: cfg.pprofAddr, Handler: mux}
 		go func() {
-			if err := http.ListenAndServe(pprofAddr, mux); err != nil {
+			if err := pprofServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "tempod: pprof listener:", err)
 			}
 		}()
-		fmt.Printf("tempod: pprof on %s\n", pprofAddr)
+		fmt.Printf("tempod: pprof on %s\n", cfg.pprofAddr)
 	}
 
-	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
+	srv := &http.Server{Addr: cfg.addr, Handler: svc.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("tempod: serving on %s (%d shards x %d workers)\n", addr, shards, workers)
+	fmt.Printf("tempod: serving on %s (%d shards x %d workers)\n", cfg.addr, cfg.shards, cfg.workers)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
+		if pprofServer != nil {
+			pprofServer.Close()
+		}
 		return err
 	case sig := <-sigc:
+		// Shutdown order: stop the API listener (no new requests), close
+		// the pprof listener, then the deferred svc.Close drains the shard
+		// queues and flushes durable state.
 		fmt.Printf("tempod: %v, draining\n", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			return err
+		}
+		if pprofServer != nil {
+			if err := pprofServer.Close(); err != nil {
+				return err
+			}
 		}
 		return nil
 	}

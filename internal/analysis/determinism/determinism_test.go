@@ -26,6 +26,7 @@ func TestScopeIsDeclaredPackages(t *testing.T) {
 		"tempo/internal/scenario",
 		"tempo/internal/whatif",
 		"tempo/internal/workload",
+		"tempo/internal/store",
 	}
 	have := map[string]bool{}
 	for _, p := range determinism.DeterministicPkgs {

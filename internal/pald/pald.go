@@ -87,6 +87,10 @@ type Optimizer struct {
 	targets []Target
 	opts    Options
 	rng     *rand.Rand
+	// counter is rng's underlying source: a draw-counting wrapper around
+	// the seeded math/rand source, which is what makes the RNG position
+	// serializable (see State/Restore in state.go).
+	counter *countingSource
 
 	xs []linalg.Vector // observed configurations
 	fs []linalg.Vector // observed QS vectors (same indexing)
@@ -102,11 +106,13 @@ func New(dim int, targets []Target, opts Options) (*Optimizer, error) {
 		return nil, errors.New("pald: no objectives")
 	}
 	o := opts.withDefaults()
+	counter := newCountingSource(o.Seed)
 	return &Optimizer{
 		dim:     dim,
 		targets: targets,
 		opts:    o,
-		rng:     rand.New(rand.NewSource(o.Seed)),
+		rng:     rand.New(counter),
+		counter: counter,
 	}, nil
 }
 

@@ -1,0 +1,125 @@
+package pald
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Durable optimizer state. The serving layer snapshots hosted clusters so
+// a crashed tempod recovers them byte-identically (internal/store); that
+// bar requires the optimizer's whole trajectory-relevant state to round-
+// trip exactly: the retained sample cloud AND the position of the
+// exploration RNG. math/rand sources cannot be serialized, but they can be
+// counted: every consumer entry point (Int63, Uint64) advances the
+// underlying generator by exactly one step, so "seed + number of draws"
+// identifies the RNG state, and Restore re-derives it by burning the same
+// number of draws on a fresh source with the same seed.
+
+// countingSource wraps the optimizer's seeded source and counts state
+// advances. Both Source interfaces are forwarded one-to-one, so the value
+// stream is bit-identical to the unwrapped source and the count is exactly
+// the number of generator steps taken.
+type countingSource struct {
+	src   rand.Source
+	src64 rand.Source64
+	draws uint64
+}
+
+// newCountingSource wraps rand.NewSource(seed). The returned source also
+// implements rand.Source64 (as rand.NewSource's does), so rand.Rand uses
+// the fast Uint64 path exactly as before wrapping.
+func newCountingSource(seed int64) *countingSource {
+	src := rand.NewSource(seed)
+	src64, ok := src.(rand.Source64)
+	if !ok {
+		// math/rand's NewSource has returned a Source64 since Go 1.8 and the
+		// package is frozen; this is unreachable on any supported toolchain.
+		panic("pald: rand.NewSource source does not implement Source64")
+	}
+	return &countingSource{src: src, src64: src64}
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src64.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.draws = 0
+}
+
+// State is the serializable snapshot of an Optimizer: the retained sample
+// history plus the exploration RNG position. Together with the
+// construction parameters (dimension, targets, Options — all derivable
+// from the scenario spec) it reproduces the optimizer exactly: a restored
+// optimizer emits the same proposal sequence as the original would have.
+type State struct {
+	// Draws is how many steps the exploration RNG has advanced since it
+	// was seeded.
+	Draws uint64 `json:"draws"`
+	// Xs and Fs are the retained (configuration, QS vector) observations,
+	// oldest first.
+	Xs [][]float64 `json:"xs"`
+	Fs [][]float64 `json:"fs"`
+}
+
+// State captures the optimizer's durable state. The result shares no
+// memory with the optimizer.
+func (p *Optimizer) State() *State {
+	st := &State{
+		Draws: p.counter.draws,
+		Xs:    make([][]float64, len(p.xs)),
+		Fs:    make([][]float64, len(p.fs)),
+	}
+	for i := range p.xs {
+		st.Xs[i] = append([]float64(nil), p.xs[i]...)
+	}
+	for i := range p.fs {
+		st.Fs[i] = append([]float64(nil), p.fs[i]...)
+	}
+	return st
+}
+
+// Restore rewinds the optimizer to a captured state: the sample history is
+// replaced and the exploration RNG is re-derived from the configured seed
+// by replaying the recorded number of draws. The optimizer must have been
+// constructed with the same dimension, objective count, and Options (in
+// particular the same Seed) as the one that produced the state.
+func (p *Optimizer) Restore(st *State) error {
+	if st == nil {
+		return fmt.Errorf("pald: nil state")
+	}
+	if len(st.Xs) != len(st.Fs) {
+		return fmt.Errorf("pald: state has %d configurations but %d QS vectors", len(st.Xs), len(st.Fs))
+	}
+	for i := range st.Xs {
+		if len(st.Xs[i]) != p.dim {
+			return fmt.Errorf("pald: state observation %d has dim %d, optimizer has %d", i, len(st.Xs[i]), p.dim)
+		}
+		if len(st.Fs[i]) != len(p.targets) {
+			return fmt.Errorf("pald: state QS vector %d has %d objectives, optimizer has %d", i, len(st.Fs[i]), len(p.targets))
+		}
+	}
+	counter := newCountingSource(p.opts.Seed)
+	for i := uint64(0); i < st.Draws; i++ {
+		// Every entry point advances the source exactly once, so burning
+		// with Int63 restores the state no matter which mix of calls
+		// produced the count.
+		counter.Int63()
+	}
+	p.counter = counter
+	p.rng = rand.New(counter)
+	p.xs = p.xs[:0]
+	p.fs = p.fs[:0]
+	for i := range st.Xs {
+		p.xs = append(p.xs, append([]float64(nil), st.Xs[i]...))
+		p.fs = append(p.fs, append([]float64(nil), st.Fs[i]...))
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package pald
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tempo/internal/linalg"
+)
+
+// drive feeds the optimizer a deterministic pseudo-workload: n rounds of
+// Observe + Propose, returning every proposal made.
+func driveState(t *testing.T, p *Optimizer, src *rand.Rand, rounds, candidates int) [][]linalg.Vector {
+	t.Helper()
+	var out [][]linalg.Vector
+	dim := p.Dim()
+	x := linalg.NewVector(dim)
+	for i := range x {
+		x[i] = 0.5
+	}
+	for r := 0; r < rounds; r++ {
+		f := []float64{src.Float64(), src.Float64()}
+		if err := p.Observe(x, f); err != nil {
+			t.Fatal(err)
+		}
+		cands, err := p.Propose(x, f, candidates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, cands)
+		if len(cands) > 0 {
+			x = cands[0]
+		}
+	}
+	return out
+}
+
+// TestStateRoundTrip drives an optimizer halfway, snapshots, restores the
+// snapshot into a freshly constructed optimizer, and checks the second
+// half of both trajectories is bit-identical — proposals and all, i.e.
+// the RNG position survived the round trip (through JSON, like the real
+// snapshot path).
+func TestStateRoundTrip(t *testing.T) {
+	const dim, rounds, candidates = 4, 12, 3
+	targets := []Target{{R: 0.5, Constrained: true}, {}}
+	opts := Options{Seed: 42}
+
+	build := func() *Optimizer {
+		p, err := New(dim, targets, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Reference trajectory: one optimizer, driven end to end.
+	ref := build()
+	refWorkload := rand.New(rand.NewSource(7))
+	refOut := driveState(t, ref, refWorkload, rounds, candidates)
+
+	// Snapshotted trajectory: drive halfway, snapshot through JSON,
+	// restore into a fresh optimizer, drive the rest.
+	half := rounds / 2
+	a := build()
+	workload := rand.New(rand.NewSource(7))
+	driveState(t, a, workload, half, candidates)
+
+	raw, err := json.Marshal(a.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st State
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	b := build()
+	if err := b.Restore(&st); err != nil {
+		t.Fatal(err)
+	}
+	if b.SampleCount() != a.SampleCount() {
+		t.Fatalf("restored sample count %d, want %d", b.SampleCount(), a.SampleCount())
+	}
+
+	// The workload stream continues where the first half left off, and the
+	// restored optimizer must continue where the original left off — the
+	// proposals must match the reference's second half exactly. The first
+	// proposal of each round feeds back as the next x exactly as drive did
+	// for the reference, so any drift compounds and is caught.
+	x := linalg.NewVector(dim)
+	for i := range x {
+		x[i] = 0.5
+	}
+	if half > 0 {
+		x = refOut[half-1][0]
+	}
+	for r := half; r < rounds; r++ {
+		f := []float64{workload.Float64(), workload.Float64()}
+		if err := b.Observe(x, f); err != nil {
+			t.Fatal(err)
+		}
+		cands, err := b.Propose(x, f, candidates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cands, refOut[r]) {
+			t.Fatalf("round %d proposals diverge after restore:\n got %v\nwant %v", r, cands, refOut[r])
+		}
+		x = cands[0]
+	}
+}
+
+// TestRestoreValidates rejects mismatched state shapes.
+func TestRestoreValidates(t *testing.T) {
+	p, err := New(3, []Target{{}}, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Restore(nil); err == nil {
+		t.Error("nil state accepted")
+	}
+	if err := p.Restore(&State{Xs: [][]float64{{1, 2}}, Fs: [][]float64{{0}}}); err == nil {
+		t.Error("wrong-dimension observation accepted")
+	}
+	if err := p.Restore(&State{Xs: [][]float64{{1, 2, 3}}, Fs: [][]float64{{0, 0}}}); err == nil {
+		t.Error("wrong objective count accepted")
+	}
+	if err := p.Restore(&State{Xs: [][]float64{{1, 2, 3}}, Fs: [][]float64{}}); err == nil {
+		t.Error("mismatched history lengths accepted")
+	}
+}
+
+// TestCountingSourceTransparency locks the wrapper's value stream to the
+// unwrapped source's: wrapping must not perturb any golden trajectory.
+func TestCountingSourceTransparency(t *testing.T) {
+	plain := rand.New(rand.NewSource(99))
+	counted := rand.New(newCountingSource(99))
+	for i := 0; i < 1000; i++ {
+		if a, b := plain.Int63(), counted.Int63(); a != b {
+			t.Fatalf("Int63 #%d: %d != %d", i, a, b)
+		}
+		if a, b := plain.Float64(), counted.Float64(); a != b {
+			t.Fatalf("Float64 #%d: %v != %v", i, a, b)
+		}
+		if a, b := plain.NormFloat64(), counted.NormFloat64(); a != b {
+			t.Fatalf("NormFloat64 #%d: %v != %v", i, a, b)
+		}
+		if a, b := plain.Uint64(), counted.Uint64(); a != b {
+			t.Fatalf("Uint64 #%d: %d != %d", i, a, b)
+		}
+	}
+}

@@ -225,6 +225,11 @@ type runEnv struct {
 	inner     core.Environment
 	changes   []CapacityChange
 	schedules []*cluster.Schedule
+	// injected holds pre-recorded observations (WAL-replayed schedules,
+	// oldest first) served ahead of the inner environment — the crash-
+	// recovery path re-drives the control loop against exactly what it
+	// observed before the crash instead of re-simulating it.
+	injected []*cluster.Schedule
 }
 
 // capacityAt returns the effective cluster capacity at the iteration, or 0
@@ -241,6 +246,12 @@ func (e *runEnv) capacityAt(iteration int) int {
 
 // Observe implements core.Environment.
 func (e *runEnv) Observe(cfg cluster.Config, interval time.Duration, iteration int) (*cluster.Schedule, error) {
+	if len(e.injected) > 0 {
+		sched := e.injected[0]
+		e.injected = e.injected[1:]
+		e.schedules = append(e.schedules, sched)
+		return sched, nil
+	}
 	if c := e.capacityAt(iteration); c > 0 && c != cfg.TotalContainers {
 		cfg = cfg.Clone()
 		cfg.TotalContainers = c

@@ -1,0 +1,202 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"tempo/internal/cluster"
+)
+
+// walRoundTrip simulates recovery of an observed schedule from the
+// schedule-event WAL: serialize to the canonical event stream, rebuild
+// with ReplaySchedule. Resume must produce byte-identical reports from
+// the rebuilt schedules, not just from shared in-memory pointers.
+func walRoundTrip(t *testing.T, s *cluster.Schedule) *cluster.Schedule {
+	t.Helper()
+	if s == nil {
+		t.Fatal("nil schedule")
+	}
+	return cluster.ReplaySchedule(s.Capacity, s.Horizon, s.Events())
+}
+
+// snapshotRoundTrip serializes a runtime snapshot through JSON, as the
+// real persistence path does.
+func snapshotRoundTrip(t *testing.T, rt *Runtime) *Snapshot {
+	t.Helper()
+	snap, err := rt.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	return &decoded
+}
+
+// TestResumeByteIdentical is the in-process half of the crash-recovery
+// acceptance test: for every (snapshot tick, crash tick) pair, a runtime
+// resumed from the snapshot plus the WAL-replayed schedules finishes with
+// a report byte-identical to an uninterrupted run's. Covers both a
+// controller-driven scenario and an observe-only one.
+func TestResumeByteIdentical(t *testing.T) {
+	for _, name := range []string{"steady-two-tenant", "abc-mix"} {
+		t.Run(name, func(t *testing.T) {
+			spec, err := LoadFile(filepath.Join("testdata", "scenarios", name+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := Options{Parallelism: 2}
+			ref, err := Run(spec, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ref.MarshalCanonical()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// crash after m committed ticks, snapshot taken at tick k <= m
+			for m := 0; m <= spec.Iterations; m++ {
+				for k := 0; k <= m; k++ {
+					live, err := Build(spec, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var snap *Snapshot
+					for i := 0; i < m; i++ {
+						if i == k {
+							snap = snapshotRoundTrip(t, live)
+						}
+						if _, err := live.Step(); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if k == m {
+						snap = snapshotRoundTrip(t, live)
+					}
+					schedules := make([]*cluster.Schedule, 0, m)
+					for i := 0; i < m; i++ {
+						schedules = append(schedules, walRoundTrip(t, live.ObservedSchedule(i)))
+					}
+
+					resumed, err := Resume(spec, opts, snap, schedules)
+					if err != nil {
+						t.Fatalf("m=%d k=%d: %v", m, k, err)
+					}
+					if resumed.StepsDone() != m {
+						t.Fatalf("m=%d k=%d: resumed runtime at tick %d", m, k, resumed.StepsDone())
+					}
+					rep, err := resumed.Run()
+					if err != nil {
+						t.Fatalf("m=%d k=%d: finishing resumed run: %v", m, k, err)
+					}
+					got, err := rep.MarshalCanonical()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Errorf("m=%d k=%d: resumed report differs from uninterrupted run", m, k)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestResumeWithoutSnapshot recovers from the WAL alone (the fallback
+// when the snapshot is lost or stale): full re-drive with every
+// observation injected.
+func TestResumeWithoutSnapshot(t *testing.T) {
+	spec, err := LoadFile(filepath.Join("testdata", "scenarios", "steady-two-tenant.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Parallelism: 2}
+	live, err := Build(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := live.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := want.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedules := make([]*cluster.Schedule, 0, spec.Iterations)
+	for i := 0; i < spec.Iterations; i++ {
+		schedules = append(schedules, walRoundTrip(t, live.ObservedSchedule(i)))
+	}
+	resumed, err := Resume(spec, opts, nil, schedules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := resumed.Report()
+	gotBytes, err := rep.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBytes, wantBytes) {
+		t.Error("snapshot-less recovery diverges from uninterrupted run")
+	}
+}
+
+// TestResumeValidates rejects inconsistent durable state instead of
+// resuming a wrong trajectory.
+func TestResumeValidates(t *testing.T) {
+	spec, err := LoadFile(filepath.Join("testdata", "scenarios", "steady-two-tenant.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Parallelism: 1}
+	live, err := Build(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := live.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := live.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedules := make([]*cluster.Schedule, 0, 3)
+	for i := 0; i < 3; i++ {
+		schedules = append(schedules, live.ObservedSchedule(i))
+	}
+
+	// Snapshot ahead of the WAL: the snapshot saw ticks the WAL lost.
+	if _, err := Resume(spec, opts, snap, schedules[:2]); err == nil {
+		t.Error("snapshot past the recovered schedules accepted")
+	}
+	// Corrupt cursor.
+	bad := *snap
+	bad.Cursor = 2
+	if _, err := Resume(spec, opts, &bad, schedules); err == nil {
+		t.Error("cursor/iterations mismatch accepted")
+	}
+	// Controller toggle mismatch.
+	off := *spec
+	off.Controller.Disabled = true
+	if _, err := Resume(&off, opts, snap, schedules); err == nil {
+		t.Error("controller snapshot accepted by controller-off spec")
+	}
+	// More schedules than the iteration budget.
+	over := make([]*cluster.Schedule, spec.Iterations+1)
+	for i := range over {
+		over[i] = schedules[0]
+	}
+	if _, err := Resume(spec, opts, nil, over); err == nil {
+		t.Error("schedule overflow accepted")
+	}
+}

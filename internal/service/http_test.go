@@ -21,7 +21,10 @@ import (
 // server; the cleanup tears both down.
 func newTestServer(t *testing.T, cfg service.Config) (*service.Service, *httptest.Server) {
 	t.Helper()
-	svc := service.New(cfg)
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"tempo"
+	"tempo/internal/store"
 )
 
 // Config sizes the control plane.
@@ -60,6 +61,20 @@ type Config struct {
 	// LatencyWindow is how many recent tick latencies each shard retains
 	// for the p50/p99 metrics; 0 means 1024.
 	LatencyWindow int
+	// Store enables durability. When non-nil, New recovers every cluster
+	// with on-disk state (snapshot restore + WAL re-drive, byte-identical
+	// trajectories), every committed tick appends its observed schedule to
+	// the cluster's WAL before the tick is acked, snapshots are written
+	// every SnapshotEvery ticks, Delete removes the on-disk state, and
+	// Close flushes and closes the store — the service owns it from here.
+	Store *store.Store
+	// SnapshotEvery is how many committed ticks between control-loop
+	// snapshots; 0 means 8. A snapshot bounds recovery's re-drive cost to
+	// at most SnapshotEvery ticks. Ignored without Store.
+	SnapshotEvery int
+	// DrainTimeout bounds how long Close waits for queued and in-flight
+	// ticks to finish before cutting the shard workers off; 0 means 5s.
+	DrainTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +92,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LatencyWindow <= 0 {
 		c.LatencyWindow = 1024
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 8
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
 	}
 	return c
 }
@@ -111,11 +132,24 @@ type Cluster struct {
 	Shard   int
 	Session *tempo.Session
 	Created time.Time
+
+	// mu serializes the tick+WAL-append pair against deletion: a worker
+	// holds it for the whole commit, so Delete can never tear down the
+	// on-disk state (or drop the session) under a tick's feet.
+	mu sync.Mutex
+	// store is the cluster's durable state; nil when durability is off.
+	store *store.ClusterStore
+	// deleted latches once the cluster is torn down; ticks queued behind
+	// the deletion observe it and fail with ErrNotFound.
+	deleted bool
 }
 
 // New starts a control plane with the given sizing (zero fields take
-// defaults). Close it to stop the shard workers.
-func New(cfg Config) *Service {
+// defaults). With cfg.Store set, every cluster with on-disk state is
+// recovered before New returns: snapshot restored, WAL re-driven, and the
+// session resumes mid-scenario on a trajectory byte-identical to the
+// uninterrupted run. Close it to stop the shard workers.
+func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:      cfg,
@@ -124,13 +158,58 @@ func New(cfg Config) *Service {
 		clusters: map[string]*Cluster{},
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		s.shards = append(s.shards, newShard(i, cfg, s.quit))
+		s.shards = append(s.shards, newShard(i, s, cfg))
 	}
-	return s
+	if cfg.Store != nil {
+		for _, id := range cfg.Store.IDs() {
+			c, err := s.recoverCluster(id)
+			if err != nil {
+				return nil, fmt.Errorf("service: recovering cluster %s: %w", id, err)
+			}
+			s.clusters[id] = c
+		}
+	}
+	return s, nil
 }
 
-// Close stops every shard worker and rejects further operations. Ticks
-// already queued but not yet picked up fail with ErrClosed.
+// recoverCluster rebuilds one cluster from its durable state. A snapshot
+// that cannot be applied (stale, reaching past the surviving WAL) falls
+// back to a full WAL re-drive; the WAL itself is authoritative.
+func (s *Service) recoverCluster(id string) (*Cluster, error) {
+	cs, err := s.cfg.Store.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	schedules, err := cs.Schedules()
+	if err != nil {
+		return nil, err
+	}
+	snap, err := cs.LoadSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	opts := tempo.ScenarioOptions{Parallelism: s.cfg.Parallelism}
+	sess, err := tempo.ResumeSession(cs.Spec(), opts, snap, schedules)
+	if err != nil && snap != nil {
+		sess, err = tempo.ResumeSession(cs.Spec(), opts, nil, schedules)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{
+		ID:      id,
+		Shard:   s.shardFor(id),
+		Session: sess,
+		Created: time.Now(),
+		store:   cs,
+	}, nil
+}
+
+// Close stops accepting work, drains queued and in-flight ticks (bounded
+// by DrainTimeout), stops the shard workers, and — when durability is on
+// — flushes and closes the store. Ticks still queued when the deadline
+// cuts off fail with ErrClosed; their clusters recover the lost tail
+// deterministically on the next start.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -139,9 +218,26 @@ func (s *Service) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	for time.Now().Before(deadline) {
+		idle := true
+		for _, sh := range s.shards {
+			if sh.pending.get() != 0 {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 	close(s.quit)
 	for _, sh := range s.shards {
 		sh.wait()
+	}
+	if s.cfg.Store != nil {
+		s.cfg.Store.Close()
 	}
 }
 
@@ -179,6 +275,18 @@ func (s *Service) Create(id string, spec *tempo.Scenario) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{ID: id, Shard: s.shardFor(id), Session: sess, Created: time.Now()}
+	if s.cfg.Store != nil {
+		// The store is the arbiter between racing Creates on one id: the
+		// loser sees store.ErrExists before touching the registry.
+		cs, err := s.cfg.Store.Create(id, spec)
+		if errors.Is(err, store.ErrExists) {
+			return nil, fmt.Errorf("%w: %s", ErrExists, id)
+		}
+		if err != nil {
+			return nil, err
+		}
+		c.store = cs
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -205,18 +313,72 @@ func (s *Service) Get(id string) (*Cluster, error) {
 	return c, nil
 }
 
-// Delete unregisters the cluster. In-flight ticks finish; the session is
-// simply dropped.
+// Delete unregisters the cluster and, with durability on, removes its
+// on-disk state. The teardown is routed through the cluster's shard queue
+// and serialized against ticks by the cluster mutex, so an in-flight tick
+// either commits fully before the teardown or observes the deletion and
+// fails with ErrNotFound — it can never append to removed state.
 func (s *Service) Delete(id string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
-	if _, ok := s.clusters[id]; !ok {
+	c, ok := s.clusters[id]
+	if ok {
+		// Unregister eagerly so new requests stop resolving the id; ticks
+		// already holding the *Cluster are fenced by execDelete below.
+		delete(s.clusters, id)
+	}
+	s.mu.Unlock()
+	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
-	delete(s.clusters, id)
+	return s.shards[c.Shard].remove(c)
+}
+
+// execTick runs one committed tick on a shard worker: advance the session
+// and, with durability on, log the observed schedule (and a periodic
+// snapshot) before acking. The cluster mutex makes the whole commit
+// atomic with respect to Delete.
+func (s *Service) execTick(c *Cluster) (tempo.ScenarioIteration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.deleted {
+		return tempo.ScenarioIteration{}, fmt.Errorf("%w: %s", ErrNotFound, c.ID)
+	}
+	it, err := c.Session.Tick()
+	if err != nil {
+		return it, err
+	}
+	if c.store != nil {
+		if err := c.store.AppendTick(it.Index, c.Session.ObservedSchedule(it.Index)); err != nil {
+			return it, fmt.Errorf("service: logging tick %d of %s: %w", it.Index, c.ID, err)
+		}
+		if (it.Index+1)%s.cfg.SnapshotEvery == 0 {
+			snap, err := c.Session.Snapshot()
+			if err != nil {
+				return it, fmt.Errorf("service: snapshotting %s: %w", c.ID, err)
+			}
+			if err := c.store.WriteSnapshot(snap); err != nil {
+				return it, fmt.Errorf("service: snapshotting %s: %w", c.ID, err)
+			}
+		}
+	}
+	return it, nil
+}
+
+// execDelete tears one cluster down on a shard worker.
+func (s *Service) execDelete(c *Cluster) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.deleted {
+		return fmt.Errorf("%w: %s", ErrNotFound, c.ID)
+	}
+	c.deleted = true
+	if c.store != nil {
+		return s.cfg.Store.DeleteCluster(c.store)
+	}
 	return nil
 }
 

@@ -21,9 +21,14 @@ type counter struct{ n atomic.Int64 }
 func (c *counter) add(d int64) { c.n.Add(d) }
 func (c *counter) get() int64  { return c.n.Load() }
 
-// tickJob is one queued control-loop tick; the worker answers on reply.
+// tickJob is one queued unit of per-cluster work — a control-loop tick
+// or (remove set) the cluster's teardown; the worker answers on reply.
+// Routing teardown through the same queue gives Delete the same
+// worker-pool bounds as ticks and keeps every mutation of one cluster on
+// machinery that respects the cluster mutex.
 type tickJob struct {
 	cluster *Cluster
+	remove  bool
 	reply   chan tickResult
 }
 
@@ -37,20 +42,25 @@ type tickResult struct {
 // concurrency regardless of resident clusters or in-flight requests.
 type shard struct {
 	idx  int
+	svc  *Service
 	jobs chan tickJob
 	quit chan struct{}
 	wg   sync.WaitGroup
 
 	ticks       counter
 	whatifEvals counter
-	lat         latencyRing
+	// pending counts jobs enqueued but not yet replied to — the signal
+	// Close's bounded drain polls for.
+	pending counter
+	lat     latencyRing
 }
 
-func newShard(idx int, cfg Config, quit chan struct{}) *shard {
+func newShard(idx int, svc *Service, cfg Config) *shard {
 	sh := &shard{
 		idx:  idx,
+		svc:  svc,
 		jobs: make(chan tickJob, cfg.QueueDepth),
-		quit: quit,
+		quit: svc.quit,
 	}
 	sh.lat.init(cfg.LatencyWindow)
 	sh.wg.Add(cfg.WorkersPerShard)
@@ -66,11 +76,22 @@ func (sh *shard) wait() { sh.wg.Wait() }
 // it. A full queue applies backpressure (the caller blocks); a closed
 // service fails the call instead of hanging.
 func (sh *shard) tick(c *Cluster) (tempo.ScenarioIteration, error) {
-	job := tickJob{cluster: c, reply: make(chan tickResult, 1)}
+	return sh.run(tickJob{cluster: c, reply: make(chan tickResult, 1)})
+}
+
+// remove enqueues the cluster's teardown and waits for it.
+func (sh *shard) remove(c *Cluster) error {
+	_, err := sh.run(tickJob{cluster: c, remove: true, reply: make(chan tickResult, 1)})
+	return err
+}
+
+func (sh *shard) run(job tickJob) (tempo.ScenarioIteration, error) {
+	sh.pending.add(1)
 	//tempolint:ignore determinism enqueue-vs-shutdown race only selects ErrClosed, never alters tick output
 	select {
 	case sh.jobs <- job:
 	case <-sh.quit:
+		sh.pending.add(-1)
 		return tempo.ScenarioIteration{}, ErrClosed
 	}
 	//tempolint:ignore determinism reply-vs-shutdown race only selects ErrClosed, never alters tick output
@@ -90,14 +111,20 @@ func (sh *shard) worker() {
 		case <-sh.quit:
 			return
 		case job := <-sh.jobs:
+			if job.remove {
+				job.reply <- tickResult{err: sh.svc.execDelete(job.cluster)}
+				sh.pending.add(-1)
+				continue
+			}
 			//tempolint:ignore determinism wall-clock feeds the latency ring metric only, never report bytes
 			start := time.Now()
-			it, err := job.cluster.Session.Tick()
+			it, err := sh.svc.execTick(job.cluster)
 			if err == nil {
 				sh.ticks.add(1)
 				sh.lat.record(time.Since(start))
 			}
 			job.reply <- tickResult{it: it, err: err}
+			sh.pending.add(-1)
 		}
 	}
 }

@@ -1,0 +1,260 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testPayloads(n int) [][]byte {
+	rng := rand.New(rand.NewSource(1))
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		p := make([]byte, 1+rng.Intn(200))
+		rng.Read(p)
+		out = append(out, p)
+	}
+	return out
+}
+
+func appendAll(t *testing.T, w *WAL, payloads [][]byte) {
+	t.Helper()
+	for _, p := range payloads {
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWALAppendReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	payloads := testPayloads(50)
+
+	w, records, err := OpenWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 0 {
+		t.Fatalf("fresh wal has %d records", len(records))
+	}
+	appendAll(t, w, payloads)
+	if w.Records() != len(payloads) {
+		t.Fatalf("Records() = %d, want %d", w.Records(), len(payloads))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, records, err := OpenWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(records) != len(payloads) {
+		t.Fatalf("reopened %d records, want %d", len(records), len(payloads))
+	}
+	for i := range payloads {
+		if !bytes.Equal(records[i], payloads[i]) {
+			t.Fatalf("record %d differs after reopen", i)
+		}
+	}
+}
+
+// TestWALTornTail truncates the log at every byte offset and checks open
+// always recovers exactly the records whose frames survived whole, and
+// leaves the file cut back to that record boundary.
+func TestWALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	payloads := testPayloads(10)
+	path := filepath.Join(dir, "ref.log")
+	w, _, err := OpenWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, payloads)
+	w.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// boundaries[k] is the byte offset after record k-1.
+	boundaries := []int{0}
+	off := 0
+	for _, p := range payloads {
+		off += walHeaderSize + len(p)
+		boundaries = append(boundaries, off)
+	}
+	if off != len(full) {
+		t.Fatalf("frame math: %d != file size %d", off, len(full))
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		torn := filepath.Join(dir, fmt.Sprintf("torn-%d.log", cut))
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		wantRecords := 0
+		for wantRecords < len(payloads) && boundaries[wantRecords+1] <= cut {
+			wantRecords++
+		}
+		w, records, err := OpenWAL(torn, WALOptions{})
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if len(records) != wantRecords {
+			t.Fatalf("cut=%d: recovered %d records, want %d", cut, len(records), wantRecords)
+		}
+		for i := 0; i < wantRecords; i++ {
+			if !bytes.Equal(records[i], payloads[i]) {
+				t.Fatalf("cut=%d: record %d corrupted", cut, i)
+			}
+		}
+		w.Close()
+		st, err := os.Stat(torn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() != int64(boundaries[wantRecords]) {
+			t.Fatalf("cut=%d: torn tail not truncated: size %d, want %d", cut, st.Size(), boundaries[wantRecords])
+		}
+	}
+}
+
+// TestWALCorruptMiddle flips a byte inside an early record: the CRC
+// rejects it and everything after it is discarded — the durable prefix
+// ends at the first bad frame.
+func TestWALCorruptMiddle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	payloads := testPayloads(8)
+	w, _, err := OpenWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, payloads)
+	w.Close()
+
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the payload of record 3.
+	off := 0
+	for i := 0; i < 3; i++ {
+		off += walHeaderSize + len(payloads[i])
+	}
+	full[off+walHeaderSize] ^= 0xff
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, records, err := OpenWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(records) != 3 {
+		t.Fatalf("recovered %d records past corruption, want 3", len(records))
+	}
+}
+
+// TestWALFaultInjection arms crash fault points at randomized byte
+// offsets: appends fail at the limit, the WAL latches broken, and reopen
+// recovers an intact prefix of what was appended.
+func TestWALFaultInjection(t *testing.T) {
+	payloads := testPayloads(30)
+	total := 0
+	for _, p := range payloads {
+		total += walHeaderSize + len(p)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		limit := int64(rng.Intn(total + 1))
+		path := filepath.Join(t.TempDir(), "wal.log")
+		w, _, err := OpenWAL(path, WALOptions{Fault: &FaultPoint{Limit: limit}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appended := 0
+		var failed bool
+		for _, p := range payloads {
+			err := w.Append(p)
+			if err == nil {
+				appended++
+				continue
+			}
+			if !errors.Is(err, ErrFaultInjected) {
+				t.Fatalf("limit=%d: %v", limit, err)
+			}
+			failed = true
+			break
+		}
+		if failed {
+			if err := w.Append(payloads[0]); !errors.Is(err, ErrWALBroken) {
+				t.Fatalf("limit=%d: append after fault: %v", limit, err)
+			}
+		}
+		w.Close()
+
+		w2, records, err := OpenWAL(path, WALOptions{})
+		if err != nil {
+			t.Fatalf("limit=%d: reopen: %v", limit, err)
+		}
+		// Every fully appended record survives; the torn one never does.
+		if len(records) != appended {
+			t.Fatalf("limit=%d: recovered %d records, appended %d", limit, len(records), appended)
+		}
+		for i := 0; i < len(records); i++ {
+			if !bytes.Equal(records[i], payloads[i]) {
+				t.Fatalf("limit=%d: record %d corrupted", limit, i)
+			}
+		}
+		w2.Close()
+	}
+}
+
+// TestWALGroupCommit checks the batching bookkeeping: under a byte
+// threshold the dirty counter drains exactly when the threshold trips,
+// and Sync drains it on demand.
+func TestWALGroupCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := OpenWAL(path, WALOptions{SyncBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	small := make([]byte, 100)
+	if err := w.Append(small); err != nil {
+		t.Fatal(err)
+	}
+	w.mu.Lock()
+	dirty := w.dirty
+	w.mu.Unlock()
+	if dirty == 0 {
+		t.Fatal("small append under the byte threshold was synced eagerly")
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	w.mu.Lock()
+	dirty = w.dirty
+	w.mu.Unlock()
+	if dirty != 0 {
+		t.Fatalf("dirty=%d after Sync", dirty)
+	}
+	// Crossing the threshold syncs.
+	big := make([]byte, 2<<20)
+	if err := w.Append(big); err != nil {
+		t.Fatal(err)
+	}
+	w.mu.Lock()
+	dirty = w.dirty
+	w.mu.Unlock()
+	if dirty != 0 {
+		t.Fatalf("dirty=%d after threshold-crossing append", dirty)
+	}
+}

@@ -28,6 +28,11 @@ type (
 	ScenarioReport = scenario.Report
 	// ScenarioIteration is one control interval's slice of the report.
 	ScenarioIteration = scenario.IterationReport
+	// SessionSnapshot is the serializable checkpoint of a session's control
+	// loop (tick cursor, iteration reports, controller state) — the
+	// snapshot half of the durable state internal/store persists; the
+	// other half is the per-tick observed schedules from the WAL.
+	SessionSnapshot = scenario.Snapshot
 )
 
 // LoadScenario parses and validates a scenario spec from r. Unknown fields
@@ -84,6 +89,20 @@ func NewSession(spec *Scenario, opts ScenarioOptions) (*Session, error) {
 	return &Session{rt: rt, parallelism: opts.Parallelism, accs: map[int]*Accumulator{}}, nil
 }
 
+// ResumeSession rebuilds a session mid-scenario from its durable state:
+// the spec, an optional snapshot, and the schedules observed before the
+// crash (ticks 0..len(schedules), oldest first — WAL-replayed in
+// recovery). A nil snap recovers from the schedules alone. The resumed
+// session continues the original trajectory bit-for-bit: after the final
+// Tick its Report is byte-identical to an uninterrupted run's.
+func ResumeSession(spec *Scenario, opts ScenarioOptions, snap *SessionSnapshot, schedules []*Schedule) (*Session, error) {
+	rt, err := scenario.Resume(spec, opts, snap, schedules)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{rt: rt, parallelism: opts.Parallelism, accs: map[int]*Accumulator{}}, nil
+}
+
 // Spec returns the scenario the session was built from.
 func (s *Session) Spec() *Scenario { return s.rt.Spec }
 
@@ -130,6 +149,24 @@ func (s *Session) Report() *ScenarioReport {
 	return s.rt.Report()
 }
 
+// Snapshot captures the session's durable control-loop state at its
+// current tick. Together with the observed schedules (the WAL's half) it
+// is everything ResumeSession needs.
+func (s *Session) Snapshot() (*SessionSnapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rt.Snapshot()
+}
+
+// ObservedSchedule returns the schedule tick i ran under, or nil when
+// that tick has not run. Shared, not copied — treat as read-only; the
+// serving layer encodes it into the WAL record for the tick.
+func (s *Session) ObservedSchedule(i int) *Schedule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rt.ObservedSchedule(i)
+}
+
 // WindowQS is one interval's slice of a windowed QS query: the QS vector
 // of the schedule observed in interval Iteration, evaluated over the
 // session-time window [From, To) clipped to that interval.
@@ -149,20 +186,26 @@ type WindowQS struct {
 // (internal/qs) that ingest each observed schedule's event stream once and
 // then serve arbitrary sub-windows. The result holds one entry per
 // completed interval the window intersects; a window covering an interval
-// entirely reproduces that interval's Observed vector exactly. to <= 0
-// means "everything observed so far".
+// entirely reproduces that interval's Observed vector exactly. Windows
+// are half-open [from, to); to == 0 means "everything observed so far";
+// negative bounds and reversed windows are invalid.
 func (s *Session) QS(from, to time.Duration) ([]WindowQS, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	interval := s.rt.Interval
 	done := s.rt.StepsDone()
-	if to <= 0 {
+	if from < 0 || to < 0 {
+		// A negative bound used to fall into the "everything so far" case
+		// below and silently answer the wrong window; it is a client error.
+		return nil, fmt.Errorf("tempo: invalid QS window: bounds must be non-negative; windows are half-open [from, to), got [%v, %v)", from, to)
+	}
+	if to == 0 {
 		// "Everything observed so far". A from beyond the observed horizon
 		// is a valid ask with an empty answer, not an invalid window.
 		to = max(time.Duration(done)*interval, from)
 	}
-	if from < 0 || to < from {
-		return nil, fmt.Errorf("tempo: invalid QS window [%v, %v)", from, to)
+	if to < from {
+		return nil, fmt.Errorf("tempo: invalid QS window: from must not exceed to; windows are half-open [from, to), got [%v, %v)", from, to)
 	}
 	first := int(from / interval)
 	out := []WindowQS{}

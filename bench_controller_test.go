@@ -1,0 +1,235 @@
+package tempo
+
+// BenchmarkControllerDecision measures the PR-8 tentpole: the
+// controller's incremental candidate search (cross-tick warm-starting +
+// QS-bound pruning) against exhaustive scoring, at the stress tier and
+// on a contended pruning fixture. It fails outright — the CI regression
+// gate — if the incremental search stops saving at least 30% of the
+// fully scored candidates per steady-state decision, if pruning stops
+// firing on the contended fixture, or if either mechanism perturbs the
+// decision trajectory. Headline quantities are recorded for
+// BENCH_8.json (cmd/benchdiff gates them against the committed
+// baseline).
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"tempo/internal/cluster"
+	"tempo/internal/core"
+	"tempo/internal/linalg"
+	"tempo/internal/pald"
+	"tempo/internal/scenario"
+	"tempo/internal/whatif"
+	"tempo/internal/workload"
+)
+
+// decisionTicks is how many control intervals the stress-tier comparison
+// drives. Tick 0 is the cold tick (nothing cached yet); the reduction
+// gate is computed over the steady-state ticks after it.
+const decisionTicks = 3
+
+// batchOnlyWhatIf hides EvaluateSearch so the controller's SearchModel
+// assertion fails and scoring falls back to the exhaustive batch path.
+type batchOnlyWhatIf struct{ m *whatif.Model }
+
+func (b *batchOnlyWhatIf) Evaluate(cfg cluster.Config) ([]float64, error) { return b.m.Evaluate(cfg) }
+func (b *batchOnlyWhatIf) EvaluateBatch(cfgs []cluster.Config) ([][]float64, error) {
+	return b.m.EvaluateBatch(cfgs)
+}
+
+// stressController builds a controller over the committed stress-1000
+// tenant mix (1000 tenants, capacity 400) with a prune-eligible
+// RandomSearch strategy and two candidates per tick — the stress-scale
+// shape of the incremental-search win.
+func stressController(b *testing.B, exhaustive bool) *core.Controller {
+	b.Helper()
+	spec, err := scenario.LoadFile("internal/scenario/testdata/scenarios/stress-1000.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Iterations = decisionTicks // extend the trace to cover every benched tick
+	rt, err := scenario.Build(spec, scenario.Options{Parallelism: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := rt.NewWhatIfModel(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var coreModel core.Model = model
+	if exhaustive {
+		coreModel = &batchOnlyWhatIf{m: model}
+	}
+	space := cluster.DefaultSpace(spec.Capacity, spec.TenantNames())
+	rs, err := pald.NewRandomSearch(space.Dim(), 0.2, spec.Seed+7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctl, err := core.NewController(core.Config{
+		Space:       space,
+		Templates:   rt.Templates,
+		Model:       coreModel,
+		Environment: &core.TraceEnvironment{Trace: rt.Trace, Seed: spec.Seed},
+		Interval:    rt.Interval,
+		Candidates:  2,
+		Strategy:    rs,
+		Now:         time.Now,
+	}, rt.Initial)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ctl
+}
+
+// floodedController builds the contended pruning fixture: a tiny cluster
+// flooded with identical jobs under a constrained throughput SLO, and a
+// strategy proposing the most starved corner of the configuration space
+// — candidates whose QS lower bound proves them hopeless before any
+// simulation.
+func floodedController(b *testing.B, exhaustive bool) *core.Controller {
+	b.Helper()
+	const capacity = 8
+	interval := 30 * time.Minute
+	trace := &workload.Trace{Name: "flood", Horizon: interval}
+	for i := 0; i < 40; i++ {
+		id := "flood-" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+		trace.Jobs = append(trace.Jobs, workload.NewMapReduceJob(id, "batch", 0,
+			[]time.Duration{5 * time.Minute, 5 * time.Minute, 5 * time.Minute, 5 * time.Minute}, nil))
+	}
+	if err := trace.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	templates := []Template{
+		Template{Queue: "batch", Metric: Throughput}.WithTarget(-8),
+	}
+	model, err := whatif.FromTrace(templates, trace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model.Horizon = interval
+	var coreModel core.Model = model
+	if exhaustive {
+		coreModel = &batchOnlyWhatIf{m: model}
+	}
+	space := cluster.DefaultSpace(capacity, []string{"batch"})
+	ctl, err := core.NewController(core.Config{
+		Space:       space,
+		Templates:   templates,
+		Model:       coreModel,
+		Environment: &core.ReplayEnvironment{Trace: trace},
+		Interval:    interval,
+		Candidates:  3,
+		Strategy:    &cornerProposer{dim: space.Dim()},
+		Now:         time.Now,
+	}, cluster.Config{TotalContainers: capacity, Tenants: map[string]cluster.TenantConfig{
+		"batch": {Weight: 1},
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ctl
+}
+
+// cornerProposer proposes the origin of the normalized cube (decoding to
+// a one-container MaxShare cap). It deliberately does not implement
+// pald.PredictionObserver, which licenses the controller to prune it.
+type cornerProposer struct{ dim int }
+
+func (s *cornerProposer) Name() string                           { return "corner" }
+func (s *cornerProposer) Observe(linalg.Vector, []float64) error { return nil }
+func (s *cornerProposer) Propose(_ linalg.Vector, _ []float64, n int) ([]linalg.Vector, error) {
+	out := make([]linalg.Vector, n)
+	for i := range out {
+		out[i] = linalg.NewVector(s.dim)
+	}
+	return out, nil
+}
+
+// driveDecisions steps the controller n ticks and returns the stripped
+// trajectory plus aggregated search stats over ticks [from, n).
+func driveDecisions(b *testing.B, c *core.Controller, n, from int) ([]core.Iteration, core.SearchStats) {
+	b.Helper()
+	hist, err := c.Run(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var agg core.SearchStats
+	for i := from; i < n; i++ {
+		st := c.Search(i)
+		if st == nil {
+			b.Fatalf("tick %d has no search stats", i)
+		}
+		agg.Candidates += st.Candidates
+		agg.FullyScored += st.FullyScored
+		agg.WarmStarted += st.WarmStarted
+		agg.Pruned += st.Pruned
+		agg.SimsRun += st.SimsRun
+		agg.SimsReused += st.SimsReused
+		if agg.DecisionNanos == 0 || st.DecisionNanos < agg.DecisionNanos {
+			agg.DecisionNanos = st.DecisionNanos // min: stable estimator
+		}
+	}
+	for i := range hist {
+		hist[i].Search = nil
+	}
+	return hist, agg
+}
+
+func BenchmarkControllerDecision(b *testing.B) {
+	// Stress tier: warm-starting must cut fully scored candidates per
+	// steady-state decision by >= 30% without changing any decision.
+	exHist, exStats := driveDecisions(b, stressController(b, true), decisionTicks, 1)
+	incHist, incStats := driveDecisions(b, stressController(b, false), decisionTicks, 1)
+	if !reflect.DeepEqual(exHist, incHist) {
+		b.Fatalf("incremental search changed the stress trajectory:\nexhaustive:  %+v\nincremental: %+v", exHist, incHist)
+	}
+	reduction := 1 - float64(incStats.FullyScored)/math.Max(float64(exStats.FullyScored), 1)
+	if reduction < 0.30 {
+		b.Fatalf("incremental search scored %d candidates vs %d exhaustive (reduction %.3f < 0.30)",
+			incStats.FullyScored, exStats.FullyScored, reduction)
+	}
+
+	// Contended fixture: the QS lower bound must prune the hopeless
+	// candidates outright, again without perturbing the trajectory.
+	floodEx, floodExStats := driveDecisions(b, floodedController(b, true), decisionTicks, 0)
+	floodInc, floodIncStats := driveDecisions(b, floodedController(b, false), decisionTicks, 0)
+	if !reflect.DeepEqual(floodEx, floodInc) {
+		b.Fatalf("pruning changed the flooded trajectory:\nexhaustive: %+v\npruned:     %+v", floodEx, floodInc)
+	}
+	if floodExStats.Pruned != 0 || floodIncStats.Pruned == 0 {
+		b.Fatalf("pruning counters wrong: exhaustive %d, incremental %d", floodExStats.Pruned, floodIncStats.Pruned)
+	}
+
+	b.ReportMetric(reduction, "scored-reduction")
+	b.ReportMetric(float64(incStats.DecisionNanos), "decision-ns")
+	recordBench("ControllerDecision", map[string]float64{
+		"tenants":                 1000,
+		"iterations":              decisionTicks,
+		"candidates":              float64(incStats.Candidates),
+		"fully_scored":            float64(incStats.FullyScored),
+		"fully_scored_exhaustive": float64(exStats.FullyScored),
+		"warm_started":            float64(incStats.WarmStarted),
+		"sims_run":                float64(incStats.SimsRun),
+		"sims_reused":             float64(incStats.SimsReused),
+		"scored_reduction":        reduction,
+		"pruned_flood":            float64(floodIncStats.Pruned),
+		"decision_ns":             float64(incStats.DecisionNanos),
+		"decision_exhaustive_ns":  float64(exStats.DecisionNanos),
+	})
+
+	// The benched op: one steady-state decision (observe → propose →
+	// warm-started incremental scoring → select) at stress-1000 scale.
+	ctl := stressController(b, false)
+	if _, err := ctl.Step(); err != nil { // cold tick outside the timer
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctl.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -60,6 +60,19 @@ var exactMetrics = map[string]bool{
 	// function of the codec and the deterministic schedules, so any drift
 	// is a framing/encoding change, not noise.
 	"bytes_per_tick": true,
+	// Candidate-search accounting over the seeded controller fixtures:
+	// how many candidates were proposed, fully scored, warm-started from
+	// the cross-tick cache, or pruned by QS lower bounds. All are exact
+	// integers (scored_reduction is an exact rational of two of them), so
+	// any drift means the search behaved differently, not noise.
+	"candidates":              true,
+	"fully_scored":            true,
+	"fully_scored_exhaustive": true,
+	"warm_started":            true,
+	"sims_run":                true,
+	"sims_reused":             true,
+	"scored_reduction":        true,
+	"pruned_flood":            true,
 }
 
 func main() {

@@ -45,8 +45,13 @@ var Analyzer = &analysis.Analyzer{
 // the same trajectory, so map-order or wall-clock leaks there corrupt
 // recovered runs just as surely as in the simulator. (Group-commit
 // pacing is wall-clock by design and carries an ignore.)
+// internal/core joined the scope with the incremental candidate search:
+// the controller now owns pruning decisions and decision-latency
+// accounting, and its only sanctioned clock is the injected Config.Now —
+// a literal time.Now there would silently desync replayed trajectories.
 var DeterministicPkgs = []string{
 	"tempo/internal/cluster",
+	"tempo/internal/core",
 	"tempo/internal/sim",
 	"tempo/internal/qs",
 	"tempo/internal/scenario",

@@ -21,6 +21,7 @@ func TestScopeIsDeclaredPackages(t *testing.T) {
 	// refactor would silently turn the analyzer off for it.
 	want := []string{
 		"tempo/internal/cluster",
+		"tempo/internal/core",
 		"tempo/internal/sim",
 		"tempo/internal/qs",
 		"tempo/internal/scenario",

@@ -73,6 +73,45 @@ func (c Config) Clone() Config {
 	return out
 }
 
+// Equal reports whether two configurations are identical: same capacity
+// and the same explicit tenant set with equal parameters. It is the exact
+// check behind Fingerprint matches in the what-if search cache.
+func (c Config) Equal(o Config) bool {
+	if c.TotalContainers != o.TotalContainers || len(c.Tenants) != len(o.Tenants) {
+		return false
+	}
+	// No early exit: the full scan keeps the predicate trivially
+	// independent of map iteration order (determinism lint scope).
+	eq := true
+	for k, v := range c.Tenants {
+		if ov, ok := o.Tenants[k]; !ok || v != ov {
+			eq = false
+		}
+	}
+	return eq
+}
+
+// Fingerprint returns a 64-bit digest of the configuration. Per-tenant
+// FNV-1a hashes are XOR-combined so the result is independent of map
+// iteration order. Equal fingerprints are almost certainly equal configs;
+// callers that must be exact (the cross-tick search cache) verify with
+// Equal before trusting a match.
+func (c Config) Fingerprint() uint64 {
+	h := fnvUint64(fnvOffset64, uint64(c.TotalContainers))
+	h = fnvUint64(h, uint64(len(c.Tenants)))
+	var mix uint64
+	for name, tc := range c.Tenants {
+		th := fnvString(fnvOffset64, name)
+		th = fnvUint64(th, math.Float64bits(tc.Weight))
+		th = fnvUint64(th, uint64(tc.MinShare))
+		th = fnvUint64(th, uint64(tc.MaxShare))
+		th = fnvUint64(th, uint64(tc.SharePreemptTimeout))
+		th = fnvUint64(th, uint64(tc.MinSharePreemptTimeout))
+		mix ^= th
+	}
+	return fnvUint64(h, mix)
+}
+
 // Validate checks capacity and per-tenant parameter sanity.
 func (c *Config) Validate() error {
 	if c.TotalContainers <= 0 {

@@ -35,6 +35,20 @@ type BatchModel interface {
 	EvaluateBatch(cfgs []cluster.Config) ([][]float64, error)
 }
 
+// SearchModel is implemented by models that support the controller's
+// incremental decision search: cross-tick reuse of candidate scores plus
+// optional bound-based pruning through the keep callback, with fresh[i] /
+// reused[i] reporting how much simulation work candidate i actually cost.
+// *whatif.Model implements it; the controller routes candidate scoring
+// through it when available and falls back to BatchModel/Model otherwise.
+// The contract mirrors whatif.(*Model).EvaluateSearch: cfgs[0] is the
+// incumbent, preds[i] == nil marks a pruned candidate, and every non-nil
+// prediction is bit-identical to an exhaustive EvaluateBatch row.
+type SearchModel interface {
+	Model
+	EvaluateSearch(cfgs []cluster.Config, keep func(i int, lower, base []float64) bool) (preds [][]float64, fresh, reused []int, err error)
+}
+
 // scoreBatch scores every configuration through the model, using the batch
 // API when the model supports it and a sequential adapter otherwise. Row i
 // corresponds to cfgs[i] in both paths.
@@ -188,6 +202,50 @@ type Config struct {
 	RankRho float64
 	// PALD tunes the default optimizer when Strategy is nil.
 	PALD pald.Options
+	// Now supplies wall-clock timestamps for decision-latency accounting
+	// (SearchStats.DecisionNanos). nil leaves latencies at zero:
+	// deterministic contexts (the scenario golden suite) omit it, the
+	// serving layer injects time.Now. Latencies never feed back into the
+	// decision, so the injection cannot perturb trajectories.
+	Now func() time.Time
+}
+
+// SearchStats instruments one iteration's candidate search: how many
+// candidates the strategy proposed (plus the incumbent), how many were
+// fully scored through the predictor, how many were warm-started entirely
+// from the cross-tick cache, how many the QS bounds pruned before any
+// simulation, and the per-sample simulation counts behind those. The
+// serving layer aggregates these into the scored/pruned-candidates
+// counters and the decision-latency quantiles on /metrics.
+type SearchStats struct {
+	// Candidates is the size of the scored set: the incumbent plus every
+	// proposal.
+	Candidates int `json:"candidates"`
+	// FullyScored counts candidates that ran the predictor on at least one
+	// sample this iteration.
+	FullyScored int `json:"fully_scored"`
+	// WarmStarted counts candidates resolved entirely from the cross-tick
+	// cache — scored, but with zero simulations.
+	WarmStarted int `json:"warm_started"`
+	// Pruned counts candidates the QS lower bounds eliminated before any
+	// simulation.
+	Pruned int `json:"pruned"`
+	// SimsRun and SimsReused count (candidate, sample) predictor runs and
+	// cache hits across the whole decision.
+	SimsRun    int `json:"sims_run"`
+	SimsReused int `json:"sims_reused"`
+	// DecisionNanos is the wall-clock propose→score→select span, when the
+	// controller has a clock (Config.Now); zero otherwise.
+	DecisionNanos int64 `json:"decision_ns"`
+}
+
+// clone returns a copy, nil-safe.
+func (s *SearchStats) clone() *SearchStats {
+	if s == nil {
+		return nil
+	}
+	cp := *s
+	return &cp
 }
 
 // Iteration records one pass of the control loop for reporting.
@@ -206,6 +264,10 @@ type Iteration struct {
 	Reverted bool
 	// Switched reports whether a new configuration was adopted.
 	Switched bool
+	// Search instruments the iteration's candidate search. It is
+	// diagnostic only — scenario reports exclude it, so goldens are
+	// unaffected.
+	Search *SearchStats `json:"search,omitempty"`
 }
 
 // Controller drives the Tempo control loop.
@@ -351,6 +413,10 @@ func (c *Controller) Step() (Iteration, error) {
 	// Propose candidates, then score the current configuration and every
 	// candidate in one what-if batch: the evaluations are independent, so a
 	// batch-aware model fans them out across its worker pool.
+	var searchStart time.Time
+	if c.cfg.Now != nil {
+		searchStart = c.cfg.Now()
+	}
 	cands, err := c.strategy.Propose(c.currentX, c.normalize(observed), c.cfg.Candidates)
 	if err != nil {
 		return Iteration{}, fmt.Errorf("core: proposing candidates: %w", err)
@@ -360,7 +426,8 @@ func (c *Controller) Step() (Iteration, error) {
 	for _, x := range cands {
 		configs = append(configs, c.cfg.Space.Decode(x))
 	}
-	preds, err := scoreBatch(c.cfg.Model, configs)
+	feedback, _ := c.strategy.(pald.PredictionObserver)
+	preds, stats, err := c.scoreCandidates(configs, normTargets, feedback != nil)
 	if err != nil {
 		return Iteration{}, fmt.Errorf("core: what-if scoring: %w", err)
 	}
@@ -370,15 +437,32 @@ func (c *Controller) Step() (Iteration, error) {
 	switched := false
 	for i, x := range cands {
 		pred := preds[i+1]
-		// Feed predicted samples to the optimizer too: cheap gradient
+		if pred == nil {
+			// Pruned: its QS lower bound already proved it cannot replace
+			// the running best (see the keep callback in scoreCandidates).
+			continue
+		}
+		// Feed predicted samples back to the strategy too: cheap gradient
 		// information, exactly what Steps (5)-(7) of Figure 3 circulate.
-		if err := c.strategy.Observe(x, c.normalize(pred)); err != nil {
+		// Strategies implementing PredictionObserver receive it through the
+		// dedicated path; for the rest the historical Observe call is kept
+		// (a no-op for the model-free baselines).
+		if feedback != nil {
+			err = feedback.ObservePrediction(x, c.normalize(pred))
+		} else {
+			err = c.strategy.Observe(x, c.normalize(pred))
+		}
+		if err != nil {
 			return Iteration{}, err
 		}
 		if pald.Better(c.normalize(pred), c.normalize(bestPred), normTargets, nil, c.cfg.RankRho) {
 			bestX, bestPred, switched = x, pred, true
 		}
 	}
+	if c.cfg.Now != nil {
+		stats.DecisionNanos = c.cfg.Now().Sub(searchStart).Nanoseconds()
+	}
+	it.Search = stats
 	if switched {
 		c.prevConfig = it.Config.Clone()
 		c.current = c.cfg.Space.Decode(bestX)
@@ -392,6 +476,88 @@ func (c *Controller) Step() (Iteration, error) {
 	c.hasPrev = true
 	c.history = append(c.history, it)
 	return it, nil
+}
+
+// scoreCandidates resolves the QS prediction for every configuration
+// (configs[0] is the incumbent), routing through the model's incremental
+// search when it offers one and the plain batch path otherwise, and
+// returns per-iteration search statistics alongside.
+//
+// Pruning is enabled only when the strategy consumes no prediction
+// feedback (does not implement pald.PredictionObserver): for such
+// strategies a skipped candidate can influence the trajectory only by
+// winning the selection scan, so proving it cannot win proves the
+// decision identical to exhaustive scoring. The keep callback implements
+// that proof arithmetic over normalized vectors:
+//
+//   - the model guarantees lower is a coordinatewise lower bound on the
+//     candidate's averaged prediction, and normalize (division by
+//     positive per-objective scales) plus pald.MaxRegret (coordinatewise
+//     nondecreasing) preserve that ordering, so the candidate's true
+//     normalized max-regret is at least MaxRegret(normalize(lower));
+//   - the selection scan starts from the incumbent's regret and each
+//     pald.Better replacement can raise the running best's regret by at
+//     most the 1e-12 comparison tolerance, at most len(configs)-1 times,
+//     so the running best's regret never exceeds the incumbent's by more
+//     than (len(configs)-1)·1e-12;
+//   - a candidate is pruned only when its bound exceeds the incumbent's
+//     regret by more than (len(configs)+1)·1e-12, which keeps it more
+//     than 1e-12 above the running best at every point of the scan —
+//     pald.Better then takes its strict regret branch and returns false,
+//     so the pruned candidate could never have replaced the best.
+//
+// Every golden therefore stays byte-identical: pruning removes only
+// candidates that provably lose, and surviving predictions are
+// bit-identical to exhaustive scoring (exact-verified cache reuse).
+func (c *Controller) scoreCandidates(configs []cluster.Config, normTargets []pald.Target, feedback bool) ([][]float64, *SearchStats, error) {
+	stats := &SearchStats{Candidates: len(configs)}
+	sm, ok := c.cfg.Model.(SearchModel)
+	if !ok {
+		preds, err := scoreBatch(c.cfg.Model, configs)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Per-sample simulation counts are not observable through the
+		// plain batch path; only the candidate-level tally is meaningful.
+		stats.FullyScored = len(configs)
+		return preds, stats, nil
+	}
+	var keep func(i int, lower, base []float64) bool
+	if !feedback {
+		slack := float64(len(configs)+1) * 1e-12
+		keep = func(_ int, lower, base []float64) bool {
+			bound := pald.MaxRegret(c.normalize(lower), normTargets)
+			incumbent := pald.MaxRegret(c.normalize(base), normTargets)
+			return bound <= incumbent+slack
+		}
+	}
+	preds, fresh, reused, err := sm.EvaluateSearch(configs, keep)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range configs {
+		switch {
+		case preds[i] == nil:
+			stats.Pruned++
+		case fresh[i] > 0:
+			stats.FullyScored++
+		default:
+			stats.WarmStarted++
+		}
+		stats.SimsRun += fresh[i]
+		stats.SimsReused += reused[i]
+	}
+	return preds, stats, nil
+}
+
+// Search returns iteration i's search statistics, or nil when the index
+// is out of range. The returned struct is shared with the history;
+// callers treat it as read-only.
+func (c *Controller) Search(i int) *SearchStats {
+	if i < 0 || i >= len(c.history) {
+		return nil
+	}
+	return c.history[i].Search
 }
 
 // shouldRevert applies the configured guard policy.
@@ -448,14 +614,18 @@ func Improvement(history []Iteration, objective int) float64 {
 		return 0
 	}
 	first := history[0].Observed[objective]
+	// Guard before the tail computation: a ~zero first observation makes
+	// the relative change undefined no matter what the tail averages to
+	// (and for a single-iteration history the tail is just the first
+	// observation again), so it short-circuits the whole summary.
+	if math.Abs(first) < 1e-12 {
+		return 0
+	}
 	tail := history[(3*len(history))/4:]
 	var sum float64
 	for _, it := range tail {
 		sum += it.Observed[objective]
 	}
 	last := sum / float64(len(tail))
-	if math.Abs(first) < 1e-12 {
-		return 0
-	}
 	return (first - last) / math.Abs(first)
 }

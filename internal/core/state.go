@@ -64,6 +64,7 @@ func (c *Controller) Snapshot() (*ControllerState, error) {
 		cp.Config = it.Config.Clone()
 		cp.Observed = append([]float64(nil), it.Observed...)
 		cp.Predicted = append([]float64(nil), it.Predicted...)
+		cp.Search = it.Search.clone()
 		st.History = append(st.History, cp)
 	}
 	return st, nil
@@ -116,6 +117,7 @@ func (c *Controller) Restore(st *ControllerState) error {
 	for _, it := range st.History {
 		cp := it
 		cp.Config = it.Config.Clone()
+		cp.Search = it.Search.clone()
 		c.history = append(c.history, cp)
 	}
 	return nil

@@ -82,6 +82,13 @@ func TestControllerSnapshotRoundTrip(t *testing.T) {
 		t.Fatalf("restored history has %d iterations, want %d", len(got), len(want))
 	}
 	for i := range want {
+		// Search stats are cache-temperature diagnostics, not trajectory: a
+		// restored controller re-drives the identical decisions from a cold
+		// cross-tick cache, so its warm-start/simulation tallies legitimately
+		// differ from the uninterrupted run's. Everything the trajectory
+		// consists of (config, observations, predictions, switches) must
+		// still match exactly.
+		got[i].Search, want[i].Search = nil, nil
 		if !reflect.DeepEqual(got[i], want[i]) {
 			t.Errorf("iteration %d diverges after restore:\n got %+v\nwant %+v", i, got[i], want[i])
 		}

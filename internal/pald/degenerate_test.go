@@ -1,0 +1,139 @@
+package pald
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tempo/internal/linalg"
+)
+
+// scriptedSource yields `zeros` zero draws, then falls through to a
+// seeded source. math/rand's ziggurat returns exactly 0.0 from a zero
+// draw, so the leading zeros force Propose's degenerate (~zero-norm)
+// direction branch — unreachable with realistic seeds.
+type scriptedSource struct {
+	zeros int
+	draws int
+	tail  rand.Source
+}
+
+func (s *scriptedSource) Int63() int64 {
+	s.draws++
+	if s.zeros > 0 {
+		s.zeros--
+		return 0
+	}
+	return s.tail.Int63()
+}
+
+func (s *scriptedSource) Seed(int64) {}
+
+// TestRandomSearchDegenerateDrawCount pins the invariant the PR-8 fix
+// restored: a proposal consumes the same number of RNG draws whether or
+// not its direction degenerates. On the all-zero path every NormFloat64
+// and the Float64 step draw cost exactly one source draw each, so one
+// dim-3 proposal must consume exactly 4 — the old code skipped the step
+// draw and consumed 3.
+func TestRandomSearchDegenerateDrawCount(t *testing.T) {
+	const dim = 3
+	src := &scriptedSource{zeros: dim + 1}
+	rs := &RandomSearch{dim: dim, maxStep: 0.1, rng: rand.New(src)}
+	x := linalg.Vector{0.5, 0.5, 0.5}
+	cands, err := rs.Propose(x, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cands[0], x) {
+		t.Fatalf("degenerate proposal %v, want unchanged %v", cands[0], x)
+	}
+	if src.draws != dim+1 {
+		t.Fatalf("degenerate proposal consumed %d draws, want %d (unconditional step draw)", src.draws, dim+1)
+	}
+}
+
+// TestRandomSearchResumeAcrossDegenerateProposal is the resume
+// regression: a draw-count-based resume reconstructs the strategy and
+// advances a fresh source by the fixed per-proposal draw count. If the
+// degenerate branch consumed fewer draws (the old bug), the resumed
+// stream would desync and every later proposal would diverge.
+func TestRandomSearchResumeAcrossDegenerateProposal(t *testing.T) {
+	const dim = 3
+	x := linalg.Vector{0.5, 0.5, 0.5}
+
+	// Original life: proposal 1 degenerates (all-zero direction), then
+	// proposal 2 draws from the realistic tail stream.
+	srcA := &scriptedSource{zeros: dim, tail: rand.NewSource(42)}
+	a := &RandomSearch{dim: dim, maxStep: 0.1, rng: rand.New(srcA)}
+	if _, err := a.Propose(x, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.Propose(x, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: identical source recipe, advanced by the fixed count a
+	// dim-3 proposal consumes on the degenerate path (dim + 1 draws).
+	srcB := &scriptedSource{zeros: dim, tail: rand.NewSource(42)}
+	for i := 0; i < dim+1; i++ {
+		srcB.Int63()
+	}
+	b := &RandomSearch{dim: dim, maxStep: 0.1, rng: rand.New(srcB)}
+	got, err := b.Propose(x, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed proposal %v diverged from original %v", got, want)
+	}
+}
+
+// TestObserveHistoryCap (PR-8 satellite): the optimizer retains exactly
+// the last History observations in order, and once the window is full
+// the backing arrays stop growing — a long-lived daemon's optimizer must
+// not creep.
+func TestObserveHistoryCap(t *testing.T) {
+	const hist = 8
+	opt, err := New(2, []Target{{}, {}}, Options{History: hist, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := func(i int) (linalg.Vector, []float64) {
+		return linalg.Vector{float64(i) / 64, 1 - float64(i)/64}, []float64{float64(i), -float64(i)}
+	}
+	capAfterFull := -1
+	for i := 0; i < 40; i++ {
+		x, f := obs(i)
+		if err := opt.Observe(x, f); err != nil {
+			t.Fatal(err)
+		}
+		if opt.SampleCount() > hist {
+			t.Fatalf("after %d observations history holds %d > cap %d", i+1, opt.SampleCount(), hist)
+		}
+		if i == hist { // first overflow just compacted
+			capAfterFull = cap(opt.xs)
+		}
+	}
+	if got := cap(opt.xs); got != capAfterFull {
+		t.Fatalf("backing array grew after the window filled: cap %d -> %d", capAfterFull, got)
+	}
+	if opt.SampleCount() != hist {
+		t.Fatalf("retained %d, want %d", opt.SampleCount(), hist)
+	}
+	// Exactly the newest hist observations, oldest first — same order
+	// LOESS consumed before the cap existed, so fits are bit-identical.
+	for j := 0; j < hist; j++ {
+		wantX, wantF := obs(40 - hist + j)
+		if !reflect.DeepEqual(opt.xs[j], wantX) || !reflect.DeepEqual([]float64(opt.fs[j]), wantF) {
+			t.Fatalf("slot %d holds (%v, %v), want (%v, %v)", j, opt.xs[j], opt.fs[j], wantX, wantF)
+		}
+	}
+	// Dropped observations must not linger in the backing array.
+	full := opt.xs[:cap(opt.xs)]
+	for j := hist; j < len(full); j++ {
+		if full[j] != nil {
+			t.Fatalf("dropped slot %d still references %v", j, full[j])
+		}
+	}
+}

@@ -146,8 +146,22 @@ func (p *Optimizer) Observe(x linalg.Vector, f []float64) error {
 	p.fs = append(p.fs, linalg.Vector(f).Clone())
 	if len(p.xs) > p.opts.History {
 		drop := len(p.xs) - p.opts.History
-		p.xs = p.xs[drop:]
-		p.fs = p.fs[drop:]
+		// Compact in place rather than reslicing forward: a forward
+		// reslice keeps dropped observations reachable through the backing
+		// array until the next growth reallocation, so a long-running
+		// session carries dead vectors and the backing array creeps. The
+		// copy preserves index order — LOESS consumes the history in
+		// order, so fits stay bit-identical — and once the window is full
+		// the backing array never grows again.
+		n := len(p.xs) - drop
+		copy(p.xs, p.xs[drop:])
+		copy(p.fs, p.fs[drop:])
+		for i := n; i < len(p.xs); i++ {
+			p.xs[i] = nil
+			p.fs[i] = nil
+		}
+		p.xs = p.xs[:n]
+		p.fs = p.fs[:n]
 	}
 	return nil
 }
@@ -385,8 +399,15 @@ func (p *Optimizer) perturb(x linalg.Vector, radius float64) linalg.Vector {
 	for i := range d {
 		d[i] = p.rng.NormFloat64()
 	}
+	// The radius draw is unconditional so every perturbation consumes a
+	// fixed number of RNG draws: State/Restore resynchronizes by draw
+	// count, and a draw skipped on a degenerate (~zero-norm) direction
+	// would desynchronize resumed runs. Drawing after the direction loop
+	// keeps the stream identical to the old code on the non-degenerate
+	// path, so existing goldens are unaffected.
+	u := p.rng.Float64()
 	if n := d.Norm(); n > 1e-12 {
-		scale := radius * math.Pow(p.rng.Float64(), 1/float64(p.dim)) / n
+		scale := radius * math.Pow(u, 1/float64(p.dim)) / n
 		d = d.Scale(scale)
 	}
 	return p.project(x, x.Add(d))

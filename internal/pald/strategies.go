@@ -21,10 +21,30 @@ type Strategy interface {
 	Propose(x linalg.Vector, f []float64, n int) ([]linalg.Vector, error)
 }
 
+// PredictionObserver is the optional score-feedback side of a Strategy:
+// the control loop hands back each scored candidate's *predicted* QS
+// vector, not just the applied configuration's measurement. A strategy
+// that implements it declares that it learns from every scored
+// candidate — so the controller must score all of its proposals. A
+// strategy that does not (RandomSearch keeps no model) frees the
+// controller to skip candidates that provably cannot win, which is what
+// licenses bound-based pruning in core.Controller.Step.
+type PredictionObserver interface {
+	// ObservePrediction records a (candidate, predicted QS vector) pair.
+	ObservePrediction(x linalg.Vector, f []float64) error
+}
+
 // Name implements Strategy.
 func (p *Optimizer) Name() string { return "pald" }
 
+// ObservePrediction implements PredictionObserver: PALD's LOESS gradient
+// model treats predicted candidate scores exactly like measurements, so
+// the delegation is bit-identical to the controller's historical
+// strategy.Observe call on each scored candidate.
+func (p *Optimizer) ObservePrediction(x linalg.Vector, f []float64) error { return p.Observe(x, f) }
+
 var _ Strategy = (*Optimizer)(nil)
+var _ PredictionObserver = (*Optimizer)(nil)
 
 // WeightedSum is the classic scalarization baseline: descend the uniformly
 // weighted sum of QS gradients, ignoring constraint structure (ρ = 0 in
@@ -56,7 +76,14 @@ func (w *WeightedSum) Propose(x linalg.Vector, f []float64, n int) ([]linalg.Vec
 	return w.inner.Propose(x, f, n)
 }
 
+// ObservePrediction implements PredictionObserver by delegating to the
+// inner optimizer, like Observe.
+func (w *WeightedSum) ObservePrediction(x linalg.Vector, f []float64) error {
+	return w.inner.Observe(x, f)
+}
+
 var _ Strategy = (*WeightedSum)(nil)
+var _ PredictionObserver = (*WeightedSum)(nil)
 
 // RandomSearch proposes uniformly random points inside the trust region —
 // the no-model baseline. With the same what-if budget, PALD's gradient
@@ -95,8 +122,15 @@ func (r *RandomSearch) Propose(x linalg.Vector, _ []float64, n int) ([]linalg.Ve
 		for j := range d {
 			d[j] = r.rng.NormFloat64()
 		}
+		// The step draw is unconditional so every proposal consumes a fixed
+		// number of RNG draws. Skipping it on a degenerate (~zero-norm)
+		// direction made the draw count value-dependent, which desyncs any
+		// draw-count-based resume (pald.State counts draws). Drawing after
+		// the direction loop keeps the stream identical to the old code on
+		// the non-degenerate path.
+		step := r.rng.Float64()
 		if norm := d.Norm(); norm > 1e-12 {
-			d = d.Scale(r.maxStep * r.rng.Float64() / norm)
+			d = d.Scale(r.maxStep * step / norm)
 		}
 		out = append(out, x.Add(d).Clamp(0, 1))
 	}

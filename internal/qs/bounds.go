@@ -1,0 +1,186 @@
+package qs
+
+import (
+	"sort"
+	"time"
+
+	"tempo/internal/cluster"
+	"tempo/internal/workload"
+)
+
+// Candidate-pruning bounds for the controller's what-if search. A
+// BoundSet, precomputed once per sample trace, answers "how good could
+// template i's QS value possibly be under configuration x?" without
+// simulating: a coordinatewise lower bound on the QS vector of ANY
+// schedule the predictor can produce for that trace under x. Since QS is
+// minimized, the lower bound is the optimistic side — if even the bound's
+// max-regret cannot beat the incumbent's actual max-regret, no simulation
+// of x can either, and the candidate is safe to prune.
+//
+// Soundness rests on two scheduler invariants:
+//
+//   - a tenant never runs more than effMax = min(MaxShare or capacity,
+//     capacity) containers at any instant (the hard placement cap in
+//     scheduler.go), so its allocation integral over any window of length
+//     L is at most effMax·L;
+//   - every task of a job completed within [0, H] runs inside [0, H], so
+//     the total work of the tenant's completed jobs is at most effMax·H
+//     (capacity·H cluster-wide).
+//
+// Per metric, over the control loop's evaluation window [0, H+1ns):
+//
+//   - AvgResponseTime, DeadlineViolations, Fairness are nonnegative by
+//     definition → lower bound 0;
+//   - Utilization is −priority·usedFraction with usedFraction ≤ min(1,
+//     effMax/capacity) per-tenant (≤ 1 cluster-wide) → lower bound
+//     −priority·min(1, effMax/capacity);
+//   - Throughput is −priority·|completed jobs|. A job submitted at S
+//     needs at least max(CriticalPath, TotalWork/effMax) to finish, so it
+//     is completable only if that earliest finish is ≤ H; among
+//     completable jobs, total work ≤ effMax·H bounds how many can all
+//     finish, maximized by taking jobs in ascending-work order → lower
+//     bound −priority·(that count).
+//
+// Every bound is monotone under the downstream transforms (sample
+// averaging, positive normalization scales, MaxRegret), which is what
+// makes pruning on the bound provably ranking-safe — see
+// core.Controller.Step.
+
+// boundJob is the precomputed per-job view a throughput bound scans.
+type boundJob struct {
+	tenant   string
+	submit   time.Duration
+	critical time.Duration
+	work     time.Duration
+}
+
+// BoundSet holds the trace-dependent precomputation behind Lower. It is
+// built once per sample trace and reused across candidate configurations
+// and ticks; only Lower depends on the configuration.
+type BoundSet struct {
+	templates []Template
+	horizon   time.Duration
+	// jobs maps each throughput template's queue ("" = cluster-wide) to
+	// that queue's jobs sorted by ascending total work.
+	jobs map[string][]boundJob
+}
+
+// NewBoundSet precomputes per-job statistics for the throughput bounds.
+// horizon is the prediction window the control loop evaluates over
+// ([0, horizon+1ns)); a non-positive horizon yields no bound set.
+func NewBoundSet(templates []Template, trace *workload.Trace, horizon time.Duration) *BoundSet {
+	if horizon <= 0 || trace == nil {
+		return nil
+	}
+	bs := &BoundSet{
+		templates: append([]Template(nil), templates...),
+		horizon:   horizon,
+		jobs:      make(map[string][]boundJob),
+	}
+	for _, t := range templates {
+		if t.Metric != Throughput {
+			continue
+		}
+		if _, ok := bs.jobs[t.Queue]; ok {
+			continue
+		}
+		var js []boundJob
+		for i := range trace.Jobs {
+			j := &trace.Jobs[i]
+			if t.Queue != "" && j.Tenant != t.Queue {
+				continue
+			}
+			js = append(js, boundJob{
+				tenant:   j.Tenant,
+				submit:   j.Submit,
+				critical: j.CriticalPath(),
+				work:     j.TotalWork(),
+			})
+		}
+		sort.SliceStable(js, func(a, b int) bool { return js[a].work < js[b].work })
+		bs.jobs[t.Queue] = js
+	}
+	return bs
+}
+
+// effMax mirrors the scheduler's per-tenant container ceiling: MaxShare
+// clamped to capacity, with 0 (and any non-positive value) meaning
+// unlimited.
+func effMax(cfg *cluster.Config, tenant string) int {
+	capacity := cfg.TotalContainers
+	m := cfg.Tenant(tenant).MaxShare
+	if m <= 0 || m > capacity {
+		return capacity
+	}
+	return m
+}
+
+// Lower returns the per-template lower bounds on the QS vector of any
+// schedule producible for this bound set's trace under cfg. The result is
+// freshly allocated.
+func (b *BoundSet) Lower(cfg *cluster.Config) []float64 {
+	out := make([]float64, len(b.templates))
+	capacity := cfg.TotalContainers
+	if capacity <= 0 {
+		return out
+	}
+	for i, t := range b.templates {
+		priority := t.Priority
+		if priority == 0 {
+			priority = 1
+		}
+		switch t.Metric {
+		case Utilization:
+			frac := 1.0
+			if t.Queue != "" {
+				if f := float64(effMax(cfg, t.Queue)) / float64(capacity); f < frac {
+					frac = f
+				}
+			}
+			out[i] = -priority * frac
+		case Throughput:
+			out[i] = -priority * float64(b.maxCompletable(cfg, t.Queue))
+		default:
+			// AvgResponseTime, DeadlineViolations, Fairness: ≥ 0.
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// maxCompletable upper-bounds how many of the queue's jobs can complete
+// within [0, horizon] under cfg: each counted job must individually be
+// finishable by the horizon, and the counted set's total work must fit in
+// the queue's work budget (effMax·horizon per-tenant, capacity·horizon
+// cluster-wide). Scanning the ascending-work order makes the greedy
+// prefix the maximum.
+func (b *BoundSet) maxCompletable(cfg *cluster.Config, queue string) int {
+	js := b.jobs[queue]
+	budget := time.Duration(cfg.TotalContainers) * b.horizon
+	var queueMax int
+	if queue != "" {
+		queueMax = effMax(cfg, queue)
+		budget = time.Duration(queueMax) * b.horizon
+	}
+	count := 0
+	var used time.Duration
+	for _, j := range js {
+		m := queueMax
+		if queue == "" {
+			m = effMax(cfg, j.tenant)
+		}
+		earliest := j.critical
+		if perWork := j.work / time.Duration(m); perWork > earliest {
+			earliest = perWork
+		}
+		if j.submit+earliest > b.horizon {
+			continue // cannot finish by the horizon under any schedule
+		}
+		if used+j.work > budget {
+			break // ascending work: no later job fits either
+		}
+		used += j.work
+		count++
+	}
+	return count
+}

@@ -1,0 +1,111 @@
+package qs
+
+import (
+	"testing"
+	"time"
+
+	"tempo/internal/cluster"
+	"tempo/internal/workload"
+)
+
+// boundTrace synthesizes a two-tenant workload dense enough that neither
+// the utilization nor the throughput bound is trivially slack.
+func boundTrace(t *testing.T, seed int64) *workload.Trace {
+	t.Helper()
+	tr, err := workload.Generate(
+		[]workload.TenantProfile{
+			workload.BestEffort("A", 1.4),
+			workload.DeadlineDriven("B", 1.1),
+		},
+		workload.GenerateOptions{Horizon: time.Hour, Seed: seed},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func boundTemplates() []Template {
+	return []Template{
+		{Queue: "A", Metric: Utilization},
+		{Metric: Utilization},                         // cluster-wide
+		{Queue: "A", Metric: Throughput, Priority: 2}, // priority scales the bound too
+		{Metric: Throughput},
+		{Queue: "A", Metric: AvgResponseTime}, // nonnegative family: bound 0
+		{Queue: "B", Metric: DeadlineViolations},
+	}
+}
+
+// TestBoundSetLowerIsSound is the property the pruning proof stands on:
+// for every configuration, Lower is a coordinatewise lower bound on the
+// QS vector of the schedule the built-in predictor produces. It sweeps
+// capacities and MaxShare caps — the two levers the bound actually reads.
+func TestBoundSetLowerIsSound(t *testing.T) {
+	horizon := time.Hour
+	templates := boundTemplates()
+	for _, seed := range []int64{3, 7, 11} {
+		tr := boundTrace(t, seed)
+		b := NewBoundSet(templates, tr, horizon)
+		if b == nil {
+			t.Fatal("nil BoundSet for positive horizon")
+		}
+		for _, capacity := range []int{2, 6, 20, 64} {
+			for _, maxA := range []int{0, 1, 3, capacity} {
+				cfg := cluster.Config{TotalContainers: capacity, Tenants: map[string]cluster.TenantConfig{
+					"A": {Weight: 1, MaxShare: maxA},
+					"B": {Weight: 2},
+				}}
+				sched, err := cluster.Run(tr, cfg, cluster.Options{Horizon: horizon})
+				if err != nil {
+					t.Fatal(err)
+				}
+				actual := EvalStream(templates, sched, 0, sched.Horizon+time.Nanosecond)
+				lower := b.Lower(&cfg)
+				if len(lower) != len(actual) {
+					t.Fatalf("bound length %d != %d", len(lower), len(actual))
+				}
+				for k := range lower {
+					if lower[k] > actual[k] {
+						t.Fatalf("seed %d capacity %d maxA %d: bound %v exceeds actual %v for %s",
+							seed, capacity, maxA, lower[k], actual[k], templates[k].Name())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBoundSetNilOnUnboundedHorizon: bounds need a finite prediction
+// window; without one the constructor refuses rather than guessing.
+func TestBoundSetNilOnUnboundedHorizon(t *testing.T) {
+	if b := NewBoundSet(boundTemplates(), boundTrace(t, 1), 0); b != nil {
+		t.Fatal("BoundSet built with zero horizon")
+	}
+	if b := NewBoundSet(boundTemplates(), boundTrace(t, 1), -time.Hour); b != nil {
+		t.Fatal("BoundSet built with negative horizon")
+	}
+}
+
+// TestBoundSetThroughputTightensWithShareCap: capping a tenant's MaxShare
+// must never loosen its throughput bound (fewer jobs can complete), and
+// a one-container cap on a heavy queue should bind strictly below the
+// uncapped bound.
+func TestBoundSetThroughputTightensWithShareCap(t *testing.T) {
+	tr := boundTrace(t, 5)
+	templates := []Template{{Queue: "A", Metric: Throughput}}
+	b := NewBoundSet(templates, tr, time.Hour)
+	open := cluster.Config{TotalContainers: 40, Tenants: map[string]cluster.TenantConfig{
+		"A": {Weight: 1}, "B": {Weight: 1},
+	}}
+	capped := cluster.Config{TotalContainers: 40, Tenants: map[string]cluster.TenantConfig{
+		"A": {Weight: 1, MaxShare: 1}, "B": {Weight: 1},
+	}}
+	lo := b.Lower(&open)[0]
+	lc := b.Lower(&capped)[0]
+	if lc < lo {
+		t.Fatalf("capped bound %v looser than open bound %v", lc, lo)
+	}
+	if lc == lo {
+		t.Fatalf("one-container cap did not tighten the bound (both %v); fixture too slack", lc)
+	}
+}

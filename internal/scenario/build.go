@@ -36,6 +36,19 @@ type Options struct {
 	// experiment harness uses to bolt ablation-specific objectives onto a
 	// declarative scenario.
 	ExtraTemplates []qs.Template
+	// Clock supplies wall-clock timestamps for the controller's
+	// decision-latency stats (core.SearchStats.DecisionNanos). nil keeps
+	// decision latencies at zero; latencies never influence decisions, so
+	// reports are bit-identical either way. The serving layer passes
+	// time.Now.
+	Clock func() time.Time
+	// ExhaustiveSearch hides the what-if model's incremental search from
+	// the controller, forcing the plain exhaustive batch path — no
+	// warm-starting, no pruning. Pruning is provably ranking-safe, so
+	// reports are bit-identical with or without it; the parity regression
+	// suite runs every committed scenario both ways to keep that proof
+	// honest.
+	ExhaustiveSearch bool
 }
 
 // Runtime is a built scenario, ready to run: the materialized workload,
@@ -147,22 +160,43 @@ func Build(spec *Spec, opts Options) (*Runtime, error) {
 	default:
 		return nil, fmt.Errorf("scenario %s: unknown revert policy %q", spec.Name, spec.Controller.Revert)
 	}
+	var coreModel core.Model = model
+	if opts.ExhaustiveSearch {
+		coreModel = &exhaustiveModel{m: model}
+	}
 	ctl, err := core.NewController(core.Config{
 		Space:       cluster.DefaultSpace(spec.Capacity, spec.TenantNames()),
 		Templates:   templates,
-		Model:       model,
+		Model:       coreModel,
 		Environment: env,
 		Interval:    interval,
 		Candidates:  spec.Controller.Candidates,
 		Strategy:    opts.Strategy,
 		Revert:      revert,
 		PALD:        pald.Options{Seed: spec.Seed + seedPALD, MaxStep: maxStep},
+		Now:         opts.Clock,
 	}, initial)
 	if err != nil {
 		return nil, err
 	}
 	rt.Controller = ctl
 	return rt, nil
+}
+
+// exhaustiveModel exposes only the plain evaluation surface of a
+// *whatif.Model, hiding EvaluateSearch so the controller's type assertion
+// for core.SearchModel fails and candidate scoring falls back to the
+// exhaustive batch path. It exists for Options.ExhaustiveSearch.
+type exhaustiveModel struct {
+	m *whatif.Model
+}
+
+func (e *exhaustiveModel) Evaluate(cfg cluster.Config) ([]float64, error) {
+	return e.m.Evaluate(cfg)
+}
+
+func (e *exhaustiveModel) EvaluateBatch(cfgs []cluster.Config) ([][]float64, error) {
+	return e.m.EvaluateBatch(cfgs)
 }
 
 // NewWhatIfModel builds a What-if Model wired exactly the way the

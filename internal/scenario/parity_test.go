@@ -1,0 +1,72 @@
+package scenario_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tempo/internal/cluster"
+	"tempo/internal/pald"
+	"tempo/internal/scenario"
+)
+
+// TestSearchParityExhaustiveVsPruned is the standing proof obligation
+// behind the controller's incremental candidate search: every committed
+// controller-enabled scenario must produce a byte-identical canonical
+// report whether candidates are scored exhaustively or through the
+// warm-started, bound-pruned search. Each scenario runs under two
+// strategies: the default PALD optimizer (consumes prediction feedback,
+// so pruning is disabled but cross-tick warm-starting is live) and
+// RandomSearch (no feedback, so the QS lower bounds actually prune).
+// The nightly workflow runs this sweep under -race.
+func TestSearchParityExhaustiveVsPruned(t *testing.T) {
+	for _, path := range specPaths(t) {
+		path := path
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		spec, err := scenario.LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Controller.Disabled {
+			continue
+		}
+		for _, strat := range []string{"pald", "random-search"} {
+			strat := strat
+			t.Run(name+"/"+strat, func(t *testing.T) {
+				t.Parallel()
+				run := func(exhaustive bool) []byte {
+					opts := scenario.Options{Parallelism: 2, ExhaustiveSearch: exhaustive}
+					if strat == "random-search" {
+						maxStep := spec.Controller.MaxStep
+						if maxStep == 0 {
+							maxStep = 0.2
+						}
+						dim := cluster.DefaultSpace(spec.Capacity, spec.TenantNames()).Dim()
+						// A fresh identically seeded strategy per run: both
+						// sides must consume the same proposal stream.
+						rs, err := pald.NewRandomSearch(dim, maxStep, spec.Seed+7)
+						if err != nil {
+							t.Fatal(err)
+						}
+						opts.Strategy = rs
+					}
+					rep, err := scenario.Run(spec, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := rep.MarshalCanonical()
+					if err != nil {
+						t.Fatal(err)
+					}
+					return b
+				}
+				pruned := run(false)
+				exhaustive := run(true)
+				if !bytes.Equal(pruned, exhaustive) {
+					t.Errorf("incremental search changed the report:\n%s", firstDiff(pruned, exhaustive))
+				}
+			})
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"tempo/internal/cluster"
+	"tempo/internal/core"
 	"tempo/internal/qs"
 )
 
@@ -76,6 +77,19 @@ func (rt *Runtime) Step() (IterationReport, error) {
 	fillScheduleStats(&it, rt.env.schedules[i])
 	rt.iterations = append(rt.iterations, it)
 	return it, nil
+}
+
+// Search returns the controller's search statistics for iteration i, or
+// nil when the controller is disabled or the interval has not run.
+// Deliberately not part of IterationReport: the stats depend on cache
+// temperature (a resumed run re-drives identical decisions with
+// different warm-start tallies), so folding them into the
+// golden-committed report would break byte-identical resume.
+func (rt *Runtime) Search(i int) *core.SearchStats {
+	if rt.Controller == nil {
+		return nil
+	}
+	return rt.Controller.Search(i)
 }
 
 // ObservedSchedule returns the task schedule iteration i ran under, or nil

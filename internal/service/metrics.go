@@ -4,17 +4,24 @@ import "time"
 
 // Metrics is the service-wide counter snapshot GET /metrics serves.
 type Metrics struct {
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Clusters      int            `json:"clusters"`
-	Ticks         int64          `json:"ticks"`
-	WhatIfEvals   int64          `json:"whatif_evals"`
-	QSQueries     int64          `json:"qs_queries"`
-	Shards        []ShardMetrics `json:"shards"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Clusters      int     `json:"clusters"`
+	Ticks         int64   `json:"ticks"`
+	WhatIfEvals   int64   `json:"whatif_evals"`
+	QSQueries     int64   `json:"qs_queries"`
+	// ScoredCandidates and PrunedCandidates total the controllers' search
+	// stats across all clusters: candidates fully scored through the
+	// what-if simulator vs. discarded by the QS lower bound before
+	// simulation. pruned/(scored+pruned) is the live pruning rate.
+	ScoredCandidates int64          `json:"scored_candidates"`
+	PrunedCandidates int64          `json:"pruned_candidates"`
+	Shards           []ShardMetrics `json:"shards"`
 }
 
-// ShardMetrics is one shard's slice of the snapshot. Tick latencies are
-// quantiles over the shard's recent-latency window; they are zero until
-// the shard has completed a tick.
+// ShardMetrics is one shard's slice of the snapshot. Tick and decision
+// latencies are quantiles over the shard's recent-latency window; they
+// are zero until the shard has completed a tick (for decision latencies:
+// a controller-enabled tick).
 type ShardMetrics struct {
 	Shard            int     `json:"shard"`
 	Clusters         int     `json:"clusters"`
@@ -22,8 +29,15 @@ type ShardMetrics struct {
 	QueueLength      int     `json:"queue_length"`
 	Ticks            int64   `json:"ticks"`
 	WhatIfEvals      int64   `json:"whatif_evals"`
+	ScoredCandidates int64   `json:"scored_candidates"`
+	PrunedCandidates int64   `json:"pruned_candidates"`
 	TickLatencyP50Ms float64 `json:"tick_latency_p50_ms"`
 	TickLatencyP99Ms float64 `json:"tick_latency_p99_ms"`
+	// Decision latency is the controller's propose→apply span within a
+	// tick — the slice of tick latency the incremental candidate search
+	// is responsible for.
+	DecisionLatencyP50Ms float64 `json:"decision_latency_p50_ms"`
+	DecisionLatencyP99Ms float64 `json:"decision_latency_p99_ms"`
 }
 
 // Metrics snapshots the service's counters. Counters are read without a
@@ -44,18 +58,26 @@ func (s *Service) Metrics() Metrics {
 	s.mu.RUnlock()
 	for i, sh := range s.shards {
 		sm := ShardMetrics{
-			Shard:       i,
-			Clusters:    perShard[i],
-			Workers:     s.cfg.WorkersPerShard,
-			QueueLength: len(sh.jobs),
-			Ticks:       sh.ticks.get(),
-			WhatIfEvals: sh.whatifEvals.get(),
+			Shard:            i,
+			Clusters:         perShard[i],
+			Workers:          s.cfg.WorkersPerShard,
+			QueueLength:      len(sh.jobs),
+			Ticks:            sh.ticks.get(),
+			WhatIfEvals:      sh.whatifEvals.get(),
+			ScoredCandidates: sh.scored.get(),
+			PrunedCandidates: sh.pruned.get(),
 		}
 		if p50, p99, ok := sh.lat.quantiles(); ok {
 			sm.TickLatencyP50Ms = float64(p50) / float64(time.Millisecond)
 			sm.TickLatencyP99Ms = float64(p99) / float64(time.Millisecond)
 		}
+		if p50, p99, ok := sh.decLat.quantiles(); ok {
+			sm.DecisionLatencyP50Ms = float64(p50) / float64(time.Millisecond)
+			sm.DecisionLatencyP99Ms = float64(p99) / float64(time.Millisecond)
+		}
 		m.Ticks += sm.Ticks
+		m.ScoredCandidates += sm.ScoredCandidates
+		m.PrunedCandidates += sm.PrunedCandidates
 		m.Shards = append(m.Shards, sm)
 	}
 	return m

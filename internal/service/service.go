@@ -188,7 +188,7 @@ func (s *Service) recoverCluster(id string) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := tempo.ScenarioOptions{Parallelism: s.cfg.Parallelism}
+	opts := tempo.ScenarioOptions{Parallelism: s.cfg.Parallelism, Clock: time.Now}
 	sess, err := tempo.ResumeSession(cs.Spec(), opts, snap, schedules)
 	if err != nil && snap != nil {
 		sess, err = tempo.ResumeSession(cs.Spec(), opts, nil, schedules)
@@ -270,7 +270,7 @@ func (s *Service) Create(id string, spec *tempo.Scenario) (*Cluster, error) {
 	if taken {
 		return nil, fmt.Errorf("%w: %s", ErrExists, id)
 	}
-	sess, err := tempo.NewSession(spec, tempo.ScenarioOptions{Parallelism: s.cfg.Parallelism})
+	sess, err := tempo.NewSession(spec, tempo.ScenarioOptions{Parallelism: s.cfg.Parallelism, Clock: time.Now})
 	if err != nil {
 		return nil, err
 	}
@@ -350,6 +350,14 @@ func (s *Service) execTick(c *Cluster) (tempo.ScenarioIteration, error) {
 	it, err := c.Session.Tick()
 	if err != nil {
 		return it, err
+	}
+	if st := c.Session.Search(it.Index); st != nil {
+		sh := s.shards[c.Shard]
+		sh.scored.add(int64(st.FullyScored))
+		sh.pruned.add(int64(st.Pruned))
+		if st.DecisionNanos > 0 {
+			sh.decLat.record(time.Duration(st.DecisionNanos))
+		}
 	}
 	if c.store != nil {
 		if err := c.store.AppendTick(it.Index, c.Session.ObservedSchedule(it.Index)); err != nil {

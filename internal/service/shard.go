@@ -49,10 +49,21 @@ type shard struct {
 
 	ticks       counter
 	whatifEvals counter
+	// scored and pruned aggregate the controller's per-tick search stats
+	// (tempo.SearchStats) over every resident cluster: candidates fully
+	// scored through the what-if simulator vs. discarded by the QS lower
+	// bound before simulation. Their ratio is the live view of how much
+	// work the incremental search is saving.
+	scored counter
+	pruned counter
 	// pending counts jobs enqueued but not yet replied to — the signal
 	// Close's bounded drain polls for.
 	pending counter
 	lat     latencyRing
+	// decLat retains recent controller decision latencies (propose →
+	// apply, reported by the session per tick) — the search-phase slice of
+	// the tick latency lat measures.
+	decLat latencyRing
 }
 
 func newShard(idx int, svc *Service, cfg Config) *shard {
@@ -63,6 +74,7 @@ func newShard(idx int, svc *Service, cfg Config) *shard {
 		quit: svc.quit,
 	}
 	sh.lat.init(cfg.LatencyWindow)
+	sh.decLat.init(cfg.LatencyWindow)
 	sh.wg.Add(cfg.WorkersPerShard)
 	for i := 0; i < cfg.WorkersPerShard; i++ {
 		go sh.worker()

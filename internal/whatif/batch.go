@@ -297,7 +297,9 @@ func (m *Model) genSamples(samples, workers int) ([]*workload.Trace, error) {
 // event stream is built once and shared by every template
 // (qs.EvalStream), instead of one record scan per template. Candidates
 // whose predicted schedule is identical to one already scored for the
-// same sample reuse its vector through the batch's evalCache.
+// same sample reuse its vector through the cache — the per-batch
+// evalCache from EvaluateBatch, or the cross-tick searchState from
+// EvaluateSearch.
 //
 // With a non-nil scratch (built-in predictor only) the prediction runs in
 // the scratch's simulation arena and the QS derivation reuses its
@@ -306,7 +308,7 @@ func (m *Model) genSamples(samples, workers int) ([]*workload.Trace, error) {
 // detached and owns its records for the batch's lifetime.
 //
 //tempo:hot
-func (m *Model) evalSample(predict Predictor, cache *evalCache, sc *Scratch, trace *workload.Trace, cfg cluster.Config, sample int) ([]float64, error) {
+func (m *Model) evalSample(predict Predictor, cache pairCache, sc *Scratch, trace *workload.Trace, cfg cluster.Config, sample int) ([]float64, error) {
 	var sched *cluster.Schedule
 	var err error
 	if sc != nil {

@@ -1,0 +1,207 @@
+package whatif
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"tempo/internal/cluster"
+	"tempo/internal/workload"
+)
+
+func searchConfigs() []cluster.Config {
+	mk := func(total, maxA int, wA float64) cluster.Config {
+		return cluster.Config{TotalContainers: total, Tenants: map[string]cluster.TenantConfig{
+			"A": {Weight: wA, MaxShare: maxA},
+		}}
+	}
+	return []cluster.Config{mk(20, 0, 1), mk(20, 10, 1.5), mk(16, 0, 0.8)}
+}
+
+// TestEvaluateSearchMatchesBatch: EvaluateSearch's predictions must be
+// bit-identical to EvaluateBatch's — cold, and again when every value
+// comes out of the cross-tick config tier.
+func TestEvaluateSearchMatchesBatch(t *testing.T) {
+	m, err := FromTrace(testTemplates(), testTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Horizon = time.Hour
+	cfgs := searchConfigs()
+	want, err := m.EvaluateBatch(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for call := 0; call < 3; call++ {
+		preds, fresh, reused, err := m.EvaluateSearch(cfgs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(preds, want) {
+			t.Fatalf("call %d: search preds %v != batch preds %v", call, preds, want)
+		}
+		for i := range cfgs {
+			if call == 0 && (fresh[i] != 1 || reused[i] != 0) {
+				t.Fatalf("cold call: config %d fresh=%d reused=%d", i, fresh[i], reused[i])
+			}
+			if call > 0 && (fresh[i] != 0 || reused[i] != 1) {
+				t.Fatalf("warm call %d: config %d fresh=%d reused=%d, want pure reuse", call, i, fresh[i], reused[i])
+			}
+		}
+	}
+}
+
+// TestEvaluateSearchProfileModeReuses: in profile mode the generator
+// redraws a new (but bit-identical) trace every call, so cross-tick reuse
+// must survive on the content-equality path rather than trace pointer
+// identity.
+func TestEvaluateSearchProfileModeReuses(t *testing.T) {
+	m, err := FromProfiles(testTemplates(),
+		[]workload.TenantProfile{workload.BestEffort("A", 1)},
+		time.Hour, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Samples = 2
+	cfgs := searchConfigs()
+	want, err := m.EvaluateBatch(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := m.EvaluateSearch(cfgs, nil); err != nil {
+		t.Fatal(err)
+	}
+	preds, fresh, reused, err := m.EvaluateSearch(cfgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(preds, want) {
+		t.Fatalf("warm search preds %v != batch preds %v", preds, want)
+	}
+	for i := range cfgs {
+		if fresh[i] != 0 || reused[i] != m.Samples {
+			t.Fatalf("config %d fresh=%d reused=%d, want full reuse across redrawn traces", i, fresh[i], reused[i])
+		}
+	}
+}
+
+// TestEvaluateSearchStaleTraceNeverReused is the staleness regression:
+// when the generator starts returning a different workload between two
+// EvaluateSearch calls, every cached entry for the regenerated sample
+// must be invalidated — predictions come from fresh simulations of the
+// new trace, never from the old one's cache.
+func TestEvaluateSearchStaleTraceNeverReused(t *testing.T) {
+	traceFor := func(seed int64) *workload.Trace {
+		tr, err := workload.Generate(
+			[]workload.TenantProfile{workload.BestEffort("A", 1)},
+			workload.GenerateOptions{Horizon: time.Hour, Seed: seed},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	seed := int64(1)
+	m, err := New(testTemplates(), func(int) (*workload.Trace, error) { return traceFor(seed), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Horizon = time.Hour
+	cfgs := searchConfigs()
+	oldPreds, _, _, err := m.EvaluateSearch(cfgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The workload regenerates: same shape, different content.
+	seed = 2
+	fresh2, err := FromTrace(testTemplates(), traceFor(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh2.Horizon = time.Hour
+	want, err := fresh2.EvaluateBatch(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, fresh, reused, err := m.EvaluateSearch(cfgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(preds, want) {
+		t.Fatalf("post-regeneration preds %v != fresh model preds %v", preds, want)
+	}
+	if reflect.DeepEqual(preds, oldPreds) {
+		t.Fatal("fixture too weak: old and new traces score identically")
+	}
+	for i := range cfgs {
+		if reused[i] != 0 {
+			t.Fatalf("config %d reused %d stale entries after trace regeneration", i, reused[i])
+		}
+		if fresh[i] != 1 {
+			t.Fatalf("config %d fresh=%d, want full re-simulation", i, fresh[i])
+		}
+	}
+}
+
+// TestEvaluateSearchPruning: a rejected candidate is never simulated
+// (nil prediction, zero fresh count), the incumbent is always resolved,
+// and the lower bounds handed to keep really are coordinatewise lower
+// bounds on the candidates' actual predictions.
+func TestEvaluateSearchPruning(t *testing.T) {
+	m, err := FromTrace(testTemplates(), testTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Horizon = time.Hour
+	cfgs := searchConfigs()
+	actual, err := m.EvaluateBatch(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowers := make([][]float64, len(cfgs))
+	preds, fresh, _, err := m.EvaluateSearch(cfgs, func(i int, lower, base []float64) bool {
+		if !reflect.DeepEqual(base, actual[0]) {
+			t.Fatalf("keep saw baseline %v, want incumbent prediction %v", base, actual[0])
+		}
+		lowers[i] = append([]float64(nil), lower...)
+		return false // prune everything
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preds[0] == nil {
+		t.Fatal("incumbent pruned")
+	}
+	for i := 1; i < len(cfgs); i++ {
+		if preds[i] != nil || fresh[i] != 0 {
+			t.Fatalf("candidate %d not pruned: preds=%v fresh=%d", i, preds[i], fresh[i])
+		}
+		if lowers[i] == nil {
+			t.Fatalf("keep never consulted for candidate %d", i)
+		}
+		for k := range lowers[i] {
+			if lowers[i][k] > actual[i][k] {
+				t.Fatalf("candidate %d: lower bound %v exceeds actual prediction %v", i, lowers[i][k], actual[i][k])
+			}
+		}
+	}
+
+	// keep==nil or an unbounded horizon must disable pruning entirely.
+	m2, err := FromTrace(testTemplates(), testTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds2, _, _, err := m2.EvaluateSearch(cfgs, func(int, []float64, []float64) bool {
+		t.Fatal("keep consulted without a finite horizon")
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range preds2 {
+		if preds2[i] == nil {
+			t.Fatalf("candidate %d pruned with pruning disabled", i)
+		}
+	}
+}

@@ -60,6 +60,12 @@ type Model struct {
 	// changes. When Parallelism > 1, Gen and Predict must be safe for
 	// concurrent use (the built-in generators and predictor are).
 	Parallelism int
+
+	// search is EvaluateSearch's lazily initialized cross-tick state. A
+	// pointer, so value copies of a Model share it — safe, because every
+	// cached entry is verified with an exact equality check before reuse.
+	// EvaluateBatch never touches it.
+	search *searchState
 }
 
 // New returns a model over the given generator.

@@ -189,6 +189,50 @@ func (t *Trace) Sort() {
 	})
 }
 
+// Equal reports whether two traces describe identical workloads: same
+// name, horizon, and job list in the same order. The cross-tick what-if
+// search cache uses it to detect regenerated sample traces.
+func (t *Trace) Equal(o *Trace) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Name != o.Name || t.Horizon != o.Horizon || len(t.Jobs) != len(o.Jobs) {
+		return false
+	}
+	for i := range t.Jobs {
+		if !t.Jobs[i].Equal(&o.Jobs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two job specs are identical, including stage
+// structure and every task.
+func (j *JobSpec) Equal(o *JobSpec) bool {
+	if j.ID != o.ID || j.Tenant != o.Tenant || j.Submit != o.Submit ||
+		j.Deadline != o.Deadline || len(j.Stages) != len(o.Stages) {
+		return false
+	}
+	for si := range j.Stages {
+		a, b := &j.Stages[si], &o.Stages[si]
+		if len(a.DependsOn) != len(b.DependsOn) || len(a.Tasks) != len(b.Tasks) {
+			return false
+		}
+		for i := range a.DependsOn {
+			if a.DependsOn[i] != b.DependsOn[i] {
+				return false
+			}
+		}
+		for i := range a.Tasks {
+			if a.Tasks[i] != b.Tasks[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Validate checks every job and that submissions fall within the horizon.
 func (t *Trace) Validate() error {
 	seen := make(map[string]bool, len(t.Jobs))

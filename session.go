@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"tempo/internal/core"
 	"tempo/internal/qs"
 	"tempo/internal/scenario"
 	"tempo/internal/whatif"
@@ -33,6 +34,10 @@ type (
 	// snapshot half of the durable state internal/store persists; the
 	// other half is the per-tick observed schedules from the WAL.
 	SessionSnapshot = scenario.Snapshot
+	// SearchStats instruments one tick's candidate search (scored /
+	// warm-started / pruned candidates, simulation counts, decision
+	// latency). The serving layer aggregates them onto /metrics.
+	SearchStats = core.SearchStats
 )
 
 // LoadScenario parses and validates a scenario spec from r. Unknown fields
@@ -129,6 +134,16 @@ func (s *Session) Tick() (ScenarioIteration, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.rt.Step()
+}
+
+// Search returns tick i's candidate-search statistics, or nil when the
+// controller is disabled or the tick has not run. Diagnostic only —
+// search stats never appear in reports, so they cannot perturb the
+// determinism contract above.
+func (s *Session) Search(i int) *SearchStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rt.Search(i)
 }
 
 // Current returns the RM configuration the next interval will run under.

@@ -39,6 +39,7 @@ func main() {
 		workers  = flag.Int("workers", 32, "concurrent client workers")
 		rate     = flag.Float64("rate", 0, "aggregate tick-request rate cap per second (0 = unthrottled)")
 		qsEvery  = flag.Int("qs-every", 2, "issue a QS query every k-th tick round per cluster (0 = off)")
+		qEvery   = flag.Int("query-every", 2, "issue an ad-hoc query-plan probe every k-th tick round per cluster (0 = off)")
 		wiEvery  = flag.Int("whatif-every", 3, "issue a what-if probe every k-th tick round per cluster (0 = off)")
 		verify   = flag.Bool("verify", true, "compare every report against a sequential scenario run, byte for byte")
 		stride   = flag.Int64("seed-stride", 1, "per-cluster seed spacing")
@@ -47,13 +48,13 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit the drive report as JSON")
 	)
 	flag.Parse()
-	if err := run(*addr, *specPath, *clusters, *workers, *rate, *qsEvery, *wiEvery, *stride, *shards, *shardW, *verify, *asJSON); err != nil {
+	if err := run(*addr, *specPath, *clusters, *workers, *rate, *qsEvery, *qEvery, *wiEvery, *stride, *shards, *shardW, *verify, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, specPath string, clusters, workers int, rate float64, qsEvery, wiEvery int, stride int64, shards, shardWorkers int, verify, asJSON bool) error {
+func run(addr, specPath string, clusters, workers int, rate float64, qsEvery, queryEvery, wiEvery int, stride int64, shards, shardWorkers int, verify, asJSON bool) error {
 	var baseSpec *scenario.Spec
 	var err error
 	if specPath != "" {
@@ -89,6 +90,7 @@ func run(addr, specPath string, clusters, workers int, rate float64, qsEvery, wi
 		SeedStride:  stride,
 		TickRate:    rate,
 		QSEvery:     qsEvery,
+		QueryEvery:  queryEvery,
 		WhatIfEvery: wiEvery,
 		Verify:      verify,
 	})
@@ -103,8 +105,8 @@ func run(addr, specPath string, clusters, workers int, rate float64, qsEvery, wi
 		fmt.Println(string(b))
 		return nil
 	}
-	fmt.Printf("loadgen: %d clusters x %d iterations (%s): %d ticks, %d qs queries, %d what-if calls in %.2fs\n",
-		rep.Clusters, rep.Iterations, baseSpec.Name, rep.Ticks, rep.QSQueries, rep.WhatIfCalls, rep.WallSeconds)
+	fmt.Printf("loadgen: %d clusters x %d iterations (%s): %d ticks, %d qs queries, %d ad-hoc queries, %d what-if calls in %.2fs\n",
+		rep.Clusters, rep.Iterations, baseSpec.Name, rep.Ticks, rep.QSQueries, rep.QueryCalls, rep.WhatIfCalls, rep.WallSeconds)
 	fmt.Printf("loadgen: %.1f ticks/sec, %.1f clusters/sec\n", rep.TicksPerSec, rep.ClustersDone)
 	if verify {
 		fmt.Printf("loadgen: %d/%d reports bit-identical to sequential runs\n", rep.Verified, rep.Clusters)

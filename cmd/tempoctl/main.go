@@ -10,6 +10,16 @@
 // The loop starts from a deliberately skewed "expert" configuration and
 // prints, per iteration, the observed QS metrics, whether a new RM
 // configuration was adopted, and whether the revert guard rolled one back.
+//
+// The query subcommand is a client for a running tempod's ad-hoc query
+// API instead:
+//
+//	tempoctl query -addr http://localhost:8080 -cluster c1 -plan plan.json
+//	tempoctl query -cluster c1 -plan '{"version":1,"source":"jobs",...}' -stream
+//
+// -plan accepts inline JSON, a file path, or "-" for stdin; -stream
+// subscribes to the live SSE feed and prints per-tick deltas until the
+// session completes.
 package main
 
 import (
@@ -28,6 +38,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "query" {
+		if err := runQuery(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "tempoctl: query:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		mix         = flag.String("mix", "ec2", "workload mix: ec2 or two-tenant")
 		capacity    = flag.Int("capacity", 48, "cluster capacity in containers")

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tempo/internal/service"
+)
+
+// startService runs an in-process tempod with one ticked-to-completion
+// cluster and returns its base URL.
+func startService(t *testing.T) string {
+	t.Helper()
+	svc, err := service.New(service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	spec, err := service.SmallSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(service.CreateRequest{ID: "c1", Spec: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/clusters", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("creating cluster: %s", resp.Status)
+	}
+	for i := 0; i < spec.Iterations; i++ {
+		resp, err := http.Post(ts.URL+"/v1/clusters/c1/tick", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tick %d: %s", i, resp.Status)
+		}
+	}
+	return ts.URL
+}
+
+const testPlan = `{"version":1,"source":"jobs","ops":[
+	{"op":"group_by","by":["tenant"]},
+	{"op":"aggregate","aggs":[{"fn":"count","as":"jobs"}]}]}`
+
+// TestQuerySubcommand runs a one-shot query through the CLI and checks
+// the rendered rows name both tenants.
+func TestQuerySubcommand(t *testing.T) {
+	url := startService(t)
+	stdout, stderr, code := runCLI(t, "query", "-addr", url, "-cluster", "c1", "-plan", testPlan)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"ticks: 3", "tenant=besteffort", "jobs="} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestQuerySubcommandJSON checks -json emits the raw result document.
+func TestQuerySubcommandJSON(t *testing.T) {
+	url := startService(t)
+	stdout, stderr, code := runCLI(t, "query", "-addr", url, "-cluster", "c1", "-plan", testPlan, "-json")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	var res struct {
+		Ticks int               `json:"ticks"`
+		Rows  []json.RawMessage `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("-json output is not the result document: %v\n%s", err, stdout)
+	}
+	if res.Ticks != 3 || len(res.Rows) == 0 {
+		t.Fatalf("unexpected result: ticks=%d rows=%d", res.Ticks, len(res.Rows))
+	}
+}
+
+// TestQuerySubcommandStream subscribes to a completed session: the stream
+// drains every tick's deltas and terminates on the done event.
+func TestQuerySubcommandStream(t *testing.T) {
+	url := startService(t)
+	stdout, stderr, code := runCLI(t, "query", "-addr", url, "-cluster", "c1", "-plan", testPlan, "-stream")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "done: ") {
+		t.Fatalf("stream output missing terminal done event:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "tenant=besteffort") {
+		t.Fatalf("stream output missing delta rows:\n%s", stdout)
+	}
+}
+
+// TestQuerySubcommandRejectsBadPlan fails client-side, naming the
+// offending operator, without needing a live server.
+func TestQuerySubcommandRejectsBadPlan(t *testing.T) {
+	_, stderr, code := runCLI(t, "query", "-cluster", "c1",
+		"-plan", `{"version":1,"source":"events","ops":[{"op":"join"}]}`)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "ops[0]") {
+		t.Fatalf("stderr %q does not name the offending operator", stderr)
+	}
+}

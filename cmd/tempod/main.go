@@ -10,12 +10,19 @@
 //
 // Create a cluster from a scenario spec, then drive it:
 //
-//	curl -X POST localhost:8080/clusters -d '{"id":"c1","spec":'"$(cat spec.json)"'}'
-//	curl -X POST localhost:8080/clusters/c1/tick
-//	curl 'localhost:8080/clusters/c1/qs?from=0s&to=30m'
-//	curl -X POST localhost:8080/clusters/c1/whatif -d '{"candidates":[{"deadline":{"weight":3}}]}'
-//	curl localhost:8080/clusters/c1/report
-//	curl localhost:8080/metrics
+//	curl -X POST localhost:8080/v1/clusters -H 'Content-Type: application/json' \
+//	     -d '{"id":"c1","spec":'"$(cat spec.json)"'}'
+//	curl -X POST localhost:8080/v1/clusters/c1/tick
+//	curl 'localhost:8080/v1/clusters/c1/qs?from=0s&to=30m'
+//	curl -X POST localhost:8080/v1/clusters/c1/query -H 'Content-Type: application/json' \
+//	     -d '{"version":1,"source":"jobs","ops":[{"op":"group_by","by":["tenant"]},{"op":"aggregate","aggs":[{"fn":"count"}]}]}'
+//	curl -N 'localhost:8080/v1/clusters/c1/query/stream?plan=%7B%22version%22%3A1%2C%22source%22%3A%22events%22%7D'
+//	curl -X POST localhost:8080/v1/clusters/c1/whatif -H 'Content-Type: application/json' \
+//	     -d '{"candidates":[{"deadline":{"weight":3}}]}'
+//	curl localhost:8080/v1/clusters/c1/report
+//	curl localhost:8080/v1/metrics
+//
+// Pre-versioning unprefixed paths still answer as deprecated aliases.
 //
 // Clusters are pinned to shards by id hash; each shard's fixed worker
 // pool drives control-loop ticks, so tick concurrency is bounded by
@@ -54,6 +61,9 @@ func main() {
 		par      = flag.Int("parallelism", 1, "per-cluster what-if worker pool (results identical for any value)")
 		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 
+		maxStreams = flag.Int("max-streams", 64, "concurrent standing query subscriptions (SSE) across all clusters")
+		heartbeat  = flag.Duration("stream-heartbeat", 15*time.Second, "idle keep-alive interval on query streams")
+
 		dataDir    = flag.String("data", "", "data directory for durable cluster state (snapshot + WAL); empty disables durability")
 		fsyncEvery = flag.Duration("fsync-interval", 50*time.Millisecond, "WAL group-commit window (with -data); 0 fsyncs every append")
 		fsyncBytes = flag.Int("fsync-bytes", 1<<20, "WAL dirty-byte threshold forcing an fsync (with -data)")
@@ -64,6 +74,7 @@ func main() {
 	err := run(runConfig{
 		addr: *addr, shards: *shards, workers: *workers, queue: *queue,
 		parallelism: *par, pprofAddr: *pprofSrv,
+		maxStreams: *maxStreams, streamHeartbeat: *heartbeat,
 		dataDir: *dataDir, fsyncInterval: *fsyncEvery, fsyncBytes: *fsyncBytes,
 		snapshotEvery: *snapEvery, drainTimeout: *drain,
 	})
@@ -79,6 +90,8 @@ type runConfig struct {
 	queue           int
 	parallelism     int
 	pprofAddr       string
+	maxStreams      int
+	streamHeartbeat time.Duration
 
 	dataDir       string
 	fsyncInterval time.Duration
@@ -104,6 +117,8 @@ func run(cfg runConfig) error {
 		WorkersPerShard: cfg.workers,
 		QueueDepth:      cfg.queue,
 		Parallelism:     cfg.parallelism,
+		MaxStreams:      cfg.maxStreams,
+		StreamHeartbeat: cfg.streamHeartbeat,
 		Store:           st,
 		SnapshotEvery:   cfg.snapshotEvery,
 		DrainTimeout:    cfg.drainTimeout,

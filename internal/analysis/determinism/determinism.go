@@ -49,11 +49,15 @@ var Analyzer = &analysis.Analyzer{
 // the controller now owns pruning decisions and decision-latency
 // accounting, and its only sanctioned clock is the injected Config.Now —
 // a literal time.Now there would silently desync replayed trajectories.
+// internal/query joined with the ad-hoc query layer: its contract is
+// that streamed deltas replay to the one-shot result bit for bit, which
+// a bare map iteration over group cells would break per run.
 var DeterministicPkgs = []string{
 	"tempo/internal/cluster",
 	"tempo/internal/core",
 	"tempo/internal/sim",
 	"tempo/internal/qs",
+	"tempo/internal/query",
 	"tempo/internal/scenario",
 	"tempo/internal/whatif",
 	"tempo/internal/workload",

@@ -24,6 +24,7 @@ func TestScopeIsDeclaredPackages(t *testing.T) {
 		"tempo/internal/core",
 		"tempo/internal/sim",
 		"tempo/internal/qs",
+		"tempo/internal/query",
 		"tempo/internal/scenario",
 		"tempo/internal/whatif",
 		"tempo/internal/workload",

@@ -217,6 +217,46 @@ func (a *Accumulator) task(seq int) *taskState {
 	return &a.tasks[seq]
 }
 
+// JobView is one paired job record as the accumulator assembled it from
+// the event stream (submit + finish events joined by Seq). It is the
+// record-order substrate internal/query's "jobs" relation is built from —
+// the same state the QS metrics evaluate, exposed instead of re-derived.
+type JobView struct {
+	Tenant    string
+	Submit    time.Duration
+	Finish    time.Duration
+	Deadline  time.Duration
+	Completed bool
+}
+
+// TaskView is one paired task attempt (start + end events joined by Seq).
+type TaskView struct {
+	Tenant  string
+	Kind    workload.TaskKind
+	Start   time.Duration
+	End     time.Duration
+	Outcome cluster.TaskOutcome
+}
+
+// EachJob calls f for every observed job record in record order — the
+// order every oracle scan and fast-path summation uses. It does not
+// require (or trigger) sealing, so stream consumers that only want the
+// paired records skip the per-template index build.
+func (a *Accumulator) EachJob(f func(JobView)) {
+	for i := range a.jobs {
+		j := &a.jobs[i]
+		f(JobView{Tenant: j.tenant, Submit: j.submit, Finish: j.finish, Deadline: j.deadline, Completed: j.completed})
+	}
+}
+
+// EachTask calls f for every observed task attempt in record order.
+func (a *Accumulator) EachTask(f func(TaskView)) {
+	for i := range a.tasks {
+		t := &a.tasks[i]
+		f(TaskView{Tenant: t.tenant, Kind: t.kind, Start: t.start, End: t.end, Outcome: t.outcome})
+	}
+}
+
 // Seal freezes the accumulator and builds the per-template indexes.
 // Further Observe calls are ignored. Seal is idempotent and safe to call
 // concurrently.

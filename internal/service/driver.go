@@ -43,6 +43,10 @@ type DriveOptions struct {
 	// QSEvery issues a windowed QS query after every k-th tick round per
 	// cluster; 0 disables the probes.
 	QSEvery int
+	// QueryEvery issues an ad-hoc query-plan request (per-tenant job count
+	// over the jobs relation) after every k-th tick round per cluster; 0
+	// disables the probes.
+	QueryEvery int
 	// WhatIfEvery issues a two-candidate what-if scoring request after
 	// every k-th tick round per cluster; 0 disables the probes.
 	WhatIfEvery int
@@ -77,6 +81,7 @@ type DriveReport struct {
 	Iterations   int     `json:"iterations"`
 	Ticks        int     `json:"ticks"`
 	QSQueries    int     `json:"qs_queries"`
+	QueryCalls   int     `json:"query_calls"`
 	WhatIfCalls  int     `json:"whatif_calls"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	TicksPerSec  float64 `json:"ticks_per_sec"`
@@ -125,7 +130,7 @@ func Drive(baseURL string, opts DriveOptions) (*DriveReport, error) {
 			return err
 		}
 		var resp CreateResponse
-		return call(client, http.MethodPost, baseURL+"/clusters", body, &resp)
+		return call(client, http.MethodPost, baseURL+"/v1/clusters", body, &resp)
 	}); err != nil {
 		return nil, fmt.Errorf("driver: creating clusters: %w", err)
 	}
@@ -133,7 +138,7 @@ func Drive(baseURL string, opts DriveOptions) (*DriveReport, error) {
 	// Phase 2: drive ticks round-robin across the population. Work item t
 	// ticks cluster t mod N, so every cluster's control loops advance
 	// interleaved — the many-tenant serving shape, not N sequential runs.
-	var ticks, qsQueries, whatifCalls atomic.Int64
+	var ticks, qsQueries, queryCalls, whatifCalls atomic.Int64
 	throttle := newThrottle(opts.TickRate)
 	defer throttle.stop()
 	total := opts.Clusters * opts.BaseSpec.Iterations
@@ -142,16 +147,22 @@ func Drive(baseURL string, opts DriveOptions) (*DriveReport, error) {
 		round := t / opts.Clusters
 		throttle.wait()
 		var tick TickResponse
-		if err := call(client, http.MethodPost, baseURL+"/clusters/"+ids[i]+"/tick", nil, &tick); err != nil {
+		if err := call(client, http.MethodPost, baseURL+"/v1/clusters/"+ids[i]+"/tick", nil, &tick); err != nil {
 			return fmt.Errorf("tick %d of %s: %w", round, ids[i], err)
 		}
 		ticks.Add(1)
 		if opts.QSEvery > 0 && round%opts.QSEvery == 0 {
 			var qs QSResponse
-			if err := call(client, http.MethodGet, baseURL+"/clusters/"+ids[i]+"/qs", nil, &qs); err != nil {
+			if err := call(client, http.MethodGet, baseURL+"/v1/clusters/"+ids[i]+"/qs", nil, &qs); err != nil {
 				return fmt.Errorf("qs probe of %s: %w", ids[i], err)
 			}
 			qsQueries.Add(1)
+		}
+		if opts.QueryEvery > 0 && round%opts.QueryEvery == 0 {
+			if err := queryProbe(client, baseURL, ids[i]); err != nil {
+				return fmt.Errorf("query probe of %s: %w", ids[i], err)
+			}
+			queryCalls.Add(1)
 		}
 		if opts.WhatIfEvery > 0 && round%opts.WhatIfEvery == 0 {
 			if err := whatIfProbe(client, baseURL, ids[i], specs[i]); err != nil {
@@ -165,6 +176,7 @@ func Drive(baseURL string, opts DriveOptions) (*DriveReport, error) {
 	}
 	rep.Ticks = int(ticks.Load())
 	rep.QSQueries = int(qsQueries.Load())
+	rep.QueryCalls = int(queryCalls.Load())
 	rep.WhatIfCalls = int(whatifCalls.Load())
 	rep.WallSeconds = time.Since(start).Seconds()
 	if rep.WallSeconds > 0 {
@@ -176,7 +188,7 @@ func Drive(baseURL string, opts DriveOptions) (*DriveReport, error) {
 	// sequentially and compare bytes.
 	var mu sync.Mutex
 	if err := eachIndex(opts.Workers, opts.Clusters, func(i int) error {
-		got, err := fetchRaw(client, baseURL+"/clusters/"+ids[i]+"/report")
+		got, err := fetchRaw(client, baseURL+"/v1/clusters/"+ids[i]+"/report")
 		if err != nil {
 			return err
 		}
@@ -234,7 +246,28 @@ func whatIfProbe(client *http.Client, baseURL, id string, spec *scenario.Spec) e
 		return err
 	}
 	var resp WhatIfResponse
-	return call(client, http.MethodPost, baseURL+"/clusters/"+id+"/whatif", body, &resp)
+	return call(client, http.MethodPost, baseURL+"/v1/clusters/"+id+"/whatif", body, &resp)
+}
+
+// queryProbeJSON is the ad-hoc plan the driver's query probes POST: a
+// per-tenant job count — valid against any scenario, cheap to evaluate,
+// and exercising the group-by/aggregate path end to end.
+const queryProbeJSON = `{
+  "version": 1,
+  "source": "jobs",
+  "ops": [
+    {"op": "group_by", "by": ["tenant"]},
+    {"op": "aggregate", "aggs": [{"fn": "count", "as": "jobs"}]}
+  ]
+}`
+
+// queryProbe issues one ad-hoc query-plan request against cluster id.
+func queryProbe(client *http.Client, baseURL, id string) error {
+	var out struct {
+		Ticks int               `json:"ticks"`
+		Rows  []json.RawMessage `json:"rows"`
+	}
+	return call(client, http.MethodPost, baseURL+"/v1/clusters/"+id+"/query", []byte(queryProbeJSON), &out)
 }
 
 // eachIndex runs fn(0..n-1) across workers goroutines, stopping at the
@@ -335,7 +368,7 @@ func call(client *http.Client, method, url string, body []byte, out any) error {
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("%s %s: %s: %s", method, url, resp.Status, strings.TrimSpace(string(raw)))
+		return fmt.Errorf("%s %s: %s", method, url, envelopeError(resp.Status, raw))
 	}
 	if out != nil {
 		if err := json.Unmarshal(raw, out); err != nil {
@@ -343,6 +376,18 @@ func call(client *http.Client, method, url string, body []byte, out any) error {
 		}
 	}
 	return nil
+}
+
+// envelopeError renders a non-2xx response for humans: the service's
+// {error, code} envelope becomes "<status>: <code>: <error>" so the
+// machine-readable code is in the message, not buried in raw JSON; bodies
+// that are not the envelope (proxies, panics) fall back to the raw text.
+func envelopeError(status string, raw []byte) string {
+	var env ErrorEnvelope
+	if err := json.Unmarshal(raw, &env); err == nil && env.Code != "" {
+		return fmt.Sprintf("%s: %s: %s", status, env.Code, env.Error)
+	}
+	return fmt.Sprintf("%s: %s", status, strings.TrimSpace(string(raw)))
 }
 
 // fetchRaw GETs a URL and returns the raw response bytes.
@@ -357,7 +402,7 @@ func fetchRaw(client *http.Client, url string) ([]byte, error) {
 		return nil, err
 	}
 	if resp.StatusCode/100 != 2 {
-		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(raw)))
+		return nil, fmt.Errorf("GET %s: %s", url, envelopeError(resp.Status, raw))
 	}
 	return raw, nil
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"mime"
 	"net/http"
 	"time"
 
@@ -12,66 +13,131 @@ import (
 	"tempo/internal/scenario"
 )
 
-// Handler returns the service's HTTP/JSON API:
+// Handler returns the service's HTTP/JSON API, version 1:
 //
-//	POST   /clusters              create a cluster from a scenario spec
-//	GET    /clusters              list resident cluster ids
-//	GET    /clusters/{id}         cluster status
-//	DELETE /clusters/{id}         drop a cluster
-//	POST   /clusters/{id}/tick    run one control-loop tick (serialized per cluster)
-//	GET    /clusters/{id}/qs      windowed QS query (?from=30m&to=1h30m)
-//	POST   /clusters/{id}/whatif  score candidate RM configurations
-//	GET    /clusters/{id}/report  canonical scenario report (bit-reproducible)
-//	GET    /healthz               liveness
-//	GET    /metrics               JSON counters (ticks, what-if evals, per-shard latency quantiles)
+//	POST   /v1/clusters                     create a cluster from a scenario spec
+//	GET    /v1/clusters                     list resident cluster ids
+//	GET    /v1/clusters/{id}                cluster status
+//	DELETE /v1/clusters/{id}                drop a cluster
+//	POST   /v1/clusters/{id}/tick           run one control-loop tick (serialized per cluster)
+//	GET    /v1/clusters/{id}/qs             windowed QS query (?from=30m&to=1h30m)
+//	POST   /v1/clusters/{id}/query          one-shot ad-hoc query (body = plan JSON)
+//	GET    /v1/clusters/{id}/query/stream   standing query subscription (SSE, ?plan=<json>)
+//	POST   /v1/clusters/{id}/whatif         score candidate RM configurations
+//	GET    /v1/clusters/{id}/report         canonical scenario report (bit-reproducible)
+//	GET    /v1/healthz                      liveness
+//	GET    /v1/metrics                      JSON counters (ticks, queries, per-shard latency quantiles)
 //
-// All bodies are JSON; errors are {"error": "..."} with conventional
-// status codes (400 malformed input, 404 unknown cluster, 409 conflicts,
-// 503 shutting down).
+// The pre-versioning unprefixed paths keep working as deprecated aliases
+// for one release (responses carry a Deprecation header); the query
+// endpoints are /v1-only. All bodies are JSON — POSTs with a body must
+// say so in Content-Type or get a 415. Errors are a uniform envelope
+// {"error": "...", "code": "..."} with conventional status codes (400
+// malformed input, 404 unknown cluster, 409 conflicts, 415 wrong media
+// type, 429 subscription limit, 503 shutting down); code is a stable
+// machine-readable discriminator, error the human-readable detail.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /clusters", s.handleCreate)
-	mux.HandleFunc("GET /clusters", s.handleList)
-	mux.HandleFunc("GET /clusters/{id}", s.handleStatus)
-	mux.HandleFunc("DELETE /clusters/{id}", s.handleDelete)
-	mux.HandleFunc("POST /clusters/{id}/tick", s.handleTick)
-	mux.HandleFunc("GET /clusters/{id}/qs", s.handleQS)
-	mux.HandleFunc("POST /clusters/{id}/whatif", s.handleWhatIf)
-	mux.HandleFunc("GET /clusters/{id}/report", s.handleReport)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// route registers a handler under /v1 and its deprecated unversioned
+	// alias. New endpoints register with v1Only instead of growing the
+	// legacy surface.
+	route := func(method, path string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" /v1"+path, h)
+		mux.HandleFunc(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", "version=\"v1\"")
+			h(w, r)
+		})
+	}
+	v1Only := func(method, path string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" /v1"+path, h)
+	}
+	route("POST", "/clusters", s.handleCreate)
+	route("GET", "/clusters", s.handleList)
+	route("GET", "/clusters/{id}", s.handleStatus)
+	route("DELETE", "/clusters/{id}", s.handleDelete)
+	route("POST", "/clusters/{id}/tick", s.handleTick)
+	route("GET", "/clusters/{id}/qs", s.handleQS)
+	route("POST", "/clusters/{id}/whatif", s.handleWhatIf)
+	route("GET", "/clusters/{id}/report", s.handleReport)
+	route("GET", "/healthz", s.handleHealthz)
+	route("GET", "/metrics", s.handleMetrics)
+	v1Only("POST", "/clusters/{id}/query", s.handleQuery)
+	v1Only("GET", "/clusters/{id}/query/stream", s.handleQueryStream)
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// Error-envelope codes: the stable machine-readable half of every error
+// response. Clients branch on these, never on the message text.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeInvalidPlan      = "invalid_plan"
+	CodeNotFound         = "not_found"
+	CodeExists           = "exists"
+	CodeConflict         = "conflict"
+	CodeUnavailable      = "unavailable"
+	CodeUnsupportedMedia = "unsupported_media_type"
+	CodeStreamLimit      = "subscription_limit"
+	CodeInternal         = "internal"
+)
+
+// ErrorEnvelope is the uniform JSON error body.
+type ErrorEnvelope struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
+	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v) //nolint:errcheck // the connection is gone; nothing to do
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// writeError emits the uniform error envelope.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, ErrorEnvelope{Error: err.Error(), Code: code})
 }
 
-// errStatus maps service errors to HTTP status codes.
-func errStatus(err error) int {
+// errStatus maps service errors to (HTTP status, envelope code).
+func errStatus(err error) (int, string) {
 	switch {
 	case errors.Is(err, ErrNotFound):
-		return http.StatusNotFound
+		return http.StatusNotFound, CodeNotFound
 	case errors.Is(err, ErrExists):
-		return http.StatusConflict
+		return http.StatusConflict, CodeExists
 	case errors.Is(err, tempo.ErrSessionDone):
-		return http.StatusConflict
+		return http.StatusConflict, CodeConflict
 	case errors.Is(err, ErrClosed):
-		return http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable, CodeUnavailable
 	default:
-		return http.StatusBadRequest
+		return http.StatusBadRequest, CodeBadRequest
 	}
 }
 
-// CreateRequest is the POST /clusters body: a scenario spec plus an
+// writeServiceError maps and emits a service-layer error.
+func writeServiceError(w http.ResponseWriter, err error) {
+	status, code := errStatus(err)
+	writeError(w, status, code, err)
+}
+
+// requireJSON enforces Content-Type on requests carrying a body; it
+// answers 415 and returns false on violation. Bodyless POSTs (tick) pass.
+func requireJSON(w http.ResponseWriter, r *http.Request) bool {
+	if r.ContentLength == 0 {
+		return true
+	}
+	ct := r.Header.Get("Content-Type")
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil || mt != "application/json" {
+		writeError(w, http.StatusUnsupportedMediaType, CodeUnsupportedMedia,
+			fmt.Errorf("request body must be application/json, got %q", ct))
+		return false
+	}
+	return true
+}
+
+// CreateRequest is the POST /v1/clusters body: a scenario spec plus an
 // optional id (empty id defaults to the spec's name).
 type CreateRequest struct {
 	ID   string          `json:"id,omitempty"`
@@ -87,23 +153,26 @@ type CreateResponse struct {
 }
 
 func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if !requireJSON(w, r) {
+		return
+	}
 	var req CreateRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	if len(req.Spec) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("missing scenario spec"))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, errors.New("missing scenario spec"))
 		return
 	}
 	spec, err := scenario.Load(bytes.NewReader(req.Spec))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	c, err := s.Create(req.ID, spec)
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, CreateResponse{
@@ -118,7 +187,7 @@ func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"clusters": s.List()})
 }
 
-// StatusResponse is one cluster's GET /clusters/{id} view.
+// StatusResponse is one cluster's GET /v1/clusters/{id} view.
 type StatusResponse struct {
 	ID         string `json:"id"`
 	Shard      int    `json:"shard"`
@@ -130,7 +199,7 @@ type StatusResponse struct {
 func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 	c, err := s.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, StatusResponse{
@@ -144,7 +213,7 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if err := s.Delete(r.PathValue("id")); err != nil {
-		writeError(w, errStatus(err), err)
+		writeServiceError(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -162,12 +231,12 @@ type TickResponse struct {
 func (s *Service) handleTick(w http.ResponseWriter, r *http.Request) {
 	c, err := s.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		writeServiceError(w, err)
 		return
 	}
 	it, done, err := s.Tick(c)
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, TickResponse{
@@ -187,7 +256,7 @@ type QSWindow struct {
 	Values    []float64 `json:"values"`
 }
 
-// QSResponse answers GET /clusters/{id}/qs.
+// QSResponse answers GET /v1/clusters/{id}/qs.
 type QSResponse struct {
 	Objectives []string   `json:"objectives"`
 	Windows    []QSWindow `json:"windows"`
@@ -197,22 +266,22 @@ func (s *Service) handleQS(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	from, err := parseWindowBound(r.URL.Query().Get("from"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed from: %w", err))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("malformed from: %w", err))
 		return
 	}
 	to, err := parseWindowBound(r.URL.Query().Get("to"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed to: %w", err))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("malformed to: %w", err))
 		return
 	}
 	c, err := s.Get(id)
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		writeServiceError(w, err)
 		return
 	}
 	windows, err := s.QS(c, from, to)
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		writeServiceError(w, err)
 		return
 	}
 	resp := QSResponse{Objectives: c.Session.Objectives(), Windows: []QSWindow{}}
@@ -236,35 +305,61 @@ func parseWindowBound(s string) (time.Duration, error) {
 	return time.ParseDuration(s)
 }
 
-// WhatIfRequest scores candidate RM configurations. Each candidate maps
-// tenant name -> parameters (the scenario spec's initial-config format);
-// tenants left out keep weight 1 with no limits. Capacity 0 means the
-// scenario's capacity.
+// handleQuery answers POST /v1/clusters/{id}/query: the body is the plan
+// itself (see internal/query for the grammar), the response the one-shot
+// result over every interval observed so far.
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !requireJSON(w, r) {
+		return
+	}
+	c, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	plan, err := tempo.ParseQueryPlan(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidPlan, err)
+		return
+	}
+	res, err := s.Query(c, plan)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidPlan, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// WhatIfRequest is the POST /v1/clusters/{id}/whatif body: candidate
+// tenant configurations to score against the observed workload.
 type WhatIfRequest struct {
 	Capacity   int                                    `json:"capacity,omitempty"`
 	Candidates []map[string]scenario.TenantConfigSpec `json:"candidates"`
 }
 
-// WhatIfResponse carries one predicted QS vector per candidate, in order.
+// WhatIfResponse carries one QS vector per candidate.
 type WhatIfResponse struct {
 	Objectives []string    `json:"objectives"`
 	Results    [][]float64 `json:"results"`
 }
 
 func (s *Service) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	if !requireJSON(w, r) {
+		return
+	}
 	id := r.PathValue("id")
 	var req WhatIfRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	c, err := s.Get(id)
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		writeServiceError(w, err)
 		return
 	}
 	if len(req.Candidates) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("no candidate configurations"))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, errors.New("no candidate configurations"))
 		return
 	}
 	spec := c.Session.Spec()
@@ -278,14 +373,14 @@ func (s *Service) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		init := scenario.InitialSpec{Tenants: cand}
 		cfg, err := init.Config(capacity, names)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("candidate %d: %w", i, err))
+			writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("candidate %d: %w", i, err))
 			return
 		}
 		cfgs = append(cfgs, cfg)
 	}
 	rows, err := s.WhatIf(c, cfgs)
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, WhatIfResponse{Objectives: c.Session.Objectives(), Results: rows})
@@ -294,12 +389,12 @@ func (s *Service) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 	c, err := s.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		writeServiceError(w, err)
 		return
 	}
 	b, err := c.Session.Report().MarshalCanonical()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -69,7 +69,8 @@ func createCluster(t *testing.T, url, id string, spec *scenario.Spec) {
 	}
 }
 
-// do issues a request and returns status code and body.
+// do issues a request (JSON content type on bodies) and returns status
+// code and body.
 func do(t *testing.T, method, url string, body string) (int, []byte) {
 	t.Helper()
 	var rd io.Reader
@@ -79,6 +80,9 @@ func do(t *testing.T, method, url string, body string) (int, []byte) {
 	req, err := http.NewRequest(method, url, rd)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -134,13 +138,76 @@ func TestHandlerErrors(t *testing.T) {
 			if code != tc.want {
 				t.Fatalf("%s %s: got %d, want %d (body: %s)", tc.method, tc.path, code, tc.want, body)
 			}
-			var e struct {
-				Error string `json:"error"`
-			}
-			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
-				t.Fatalf("error responses must carry {\"error\": ...}, got: %s", body)
+			var e service.ErrorEnvelope
+			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" || e.Code == "" {
+				t.Fatalf("error responses must carry the {\"error\", \"code\"} envelope, got: %s", body)
 			}
 		})
+	}
+}
+
+// TestAPIVersioning pins the /v1 surface: versioned and legacy paths
+// serve the same handlers, legacy responses carry a Deprecation header,
+// versioned ones do not, POST bodies with the wrong media type are a 415
+// with the unsupported_media_type code, and error envelopes expose stable
+// machine-readable codes.
+func TestAPIVersioning(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{})
+	spec := smallSpec(t, 0)
+	createCluster(t, ts.URL, "c1", spec)
+
+	for _, path := range []string{"/healthz", "/clusters/c1", "/metrics"} {
+		for _, prefix := range []string{"", "/v1"} {
+			resp, err := http.Get(ts.URL + prefix + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s%s: %d", prefix, path, resp.StatusCode)
+			}
+			dep := resp.Header.Get("Deprecation")
+			if prefix == "" && dep == "" {
+				t.Fatalf("GET %s: legacy path must carry a Deprecation header", path)
+			}
+			if prefix == "/v1" && dep != "" {
+				t.Fatalf("GET /v1%s: versioned path must not be deprecated", path)
+			}
+		}
+	}
+
+	// A POST body that does not declare application/json is a 415.
+	resp, err := http.Post(ts.URL+"/v1/clusters/c1/whatif", "text/plain", strings.NewReader(`{"candidates":[{}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("wrong media type: got %d (%s), want 415", resp.StatusCode, b)
+	}
+	var env service.ErrorEnvelope
+	if err := json.Unmarshal(b, &env); err != nil || env.Code != service.CodeUnsupportedMedia {
+		t.Fatalf("415 envelope: got %s, want code %q", b, service.CodeUnsupportedMedia)
+	}
+
+	// Envelope codes are stable discriminators per failure class.
+	for _, tc := range []struct {
+		method, path, body, code string
+	}{
+		{"GET", "/v1/clusters/nope", "", service.CodeNotFound},
+		{"POST", "/v1/clusters", mustCreateBody(t, "c1", spec), service.CodeExists},
+		{"POST", "/v1/clusters", "{", service.CodeBadRequest},
+		{"POST", "/v1/clusters/c1/query", `{"version":1,"source":"nope"}`, service.CodeInvalidPlan},
+	} {
+		code, body := do(t, tc.method, ts.URL+tc.path, tc.body)
+		if code/100 == 2 {
+			t.Fatalf("%s %s: unexpected success", tc.method, tc.path)
+		}
+		var e service.ErrorEnvelope
+		if err := json.Unmarshal(body, &e); err != nil || e.Code != tc.code {
+			t.Fatalf("%s %s: envelope %s, want code %q", tc.method, tc.path, body, tc.code)
+		}
 	}
 }
 
@@ -371,7 +438,7 @@ func TestHammer32Goroutines(t *testing.T) {
 			for op := 0; op < opsEach; op++ {
 				var code int
 				var body []byte
-				switch op % 8 {
+				switch op % 9 {
 				case 0:
 					code, body = do(t, "POST", ts.URL+"/clusters/"+id+"/tick", "")
 					if code == http.StatusOK {
@@ -402,6 +469,9 @@ func TestHammer32Goroutines(t *testing.T) {
 					if code == http.StatusNoContent {
 						code = http.StatusOK
 					}
+				case 8:
+					plan := `{"version":1,"source":"jobs","ops":[{"op":"group_by","by":["tenant"]},{"op":"aggregate","aggs":[{"fn":"count"}]}]}`
+					code, body = do(t, "POST", ts.URL+"/v1/clusters/"+id+"/query", plan)
 				}
 				if code >= 500 {
 					t.Errorf("goroutine %d op %d: server error %d: %s", g, op, code, body)
@@ -426,7 +496,7 @@ func TestHammer32Goroutines(t *testing.T) {
 	if got := tickOK.Load(); m.Ticks != got {
 		t.Fatalf("service counted %d ticks, clients saw %d successful tick responses", m.Ticks, got)
 	}
-	if m.WhatIfEvals == 0 || m.QSQueries == 0 {
+	if m.WhatIfEvals == 0 || m.QSQueries == 0 || m.AdHocQueries == 0 {
 		t.Fatalf("probe counters not recorded: %+v", m)
 	}
 }
@@ -440,6 +510,7 @@ func TestDriveVerifies(t *testing.T) {
 		Clusters:    12,
 		Workers:     8,
 		QSEvery:     2,
+		QueryEvery:  2,
 		WhatIfEvery: 3,
 		Verify:      true,
 	})
@@ -452,7 +523,7 @@ func TestDriveVerifies(t *testing.T) {
 	if rep.Ticks != 12*rep.Iterations {
 		t.Fatalf("drove %d ticks, want %d", rep.Ticks, 12*rep.Iterations)
 	}
-	if rep.QSQueries == 0 || rep.WhatIfCalls == 0 {
+	if rep.QSQueries == 0 || rep.QueryCalls == 0 || rep.WhatIfCalls == 0 {
 		t.Fatalf("probe traffic missing: %+v", rep)
 	}
 }

@@ -9,6 +9,11 @@ type Metrics struct {
 	Ticks         int64   `json:"ticks"`
 	WhatIfEvals   int64   `json:"whatif_evals"`
 	QSQueries     int64   `json:"qs_queries"`
+	// AdHocQueries counts one-shot POST /v1/clusters/{id}/query requests;
+	// ActiveStreams is the live standing-subscription gauge (bounded by
+	// Config.MaxStreams).
+	AdHocQueries  int64 `json:"adhoc_queries"`
+	ActiveStreams int64 `json:"active_streams"`
 	// ScoredCandidates and PrunedCandidates total the controllers' search
 	// stats across all clusters: candidates fully scored through the
 	// what-if simulator vs. discarded by the QS lower bound before
@@ -48,6 +53,8 @@ func (s *Service) Metrics() Metrics {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		QSQueries:     s.qsQueries.get(),
 		WhatIfEvals:   s.whatifEvals.get(),
+		AdHocQueries:  s.queryOneShot.get(),
+		ActiveStreams: s.streams.get(),
 	}
 	perShard := make([]int, len(s.shards))
 	s.mu.RLock()

@@ -1,0 +1,327 @@
+package service_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"testing"
+
+	"tempo"
+	"tempo/internal/service"
+)
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// readSSE consumes a text/event-stream body until the server closes it,
+// returning the named events in order (keepalive comments are dropped).
+func readSSE(t *testing.T, resp *http.Response) []sseEvent {
+	t.Helper()
+	defer resp.Body.Close()
+	var events []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.name != "" || cur.data != "" {
+				events = append(events, cur)
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, ":"):
+			// comment / keepalive
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading SSE stream: %v", err)
+	}
+	return events
+}
+
+// openStream subscribes to a cluster's query stream.
+func openStream(t *testing.T, ctx context.Context, base, id, plan string) (*http.Response, error) {
+	t.Helper()
+	u := base + "/v1/clusters/" + id + "/query/stream?plan=" + url.QueryEscape(plan)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return http.DefaultClient.Do(req)
+}
+
+// rowKey identifies a result row by its (window, group) cell so stream
+// deltas can be replayed last-write-wins against the one-shot result.
+func rowKey(r tempo.QueryRow) string {
+	keys := make([]string, 0, len(r.Group))
+	for k := range r.Group {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v|%v", r.WindowFromSeconds, r.WindowToSeconds)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "|%s=%s", k, r.Group[k])
+	}
+	return b.String()
+}
+
+func sameRow(a, b tempo.QueryRow) bool {
+	if a.Tick != b.Tick || a.TimeSeconds != b.TimeSeconds ||
+		len(a.Strings) != len(b.Strings) || len(a.Values) != len(b.Values) {
+		return false
+	}
+	for k, v := range a.Strings {
+		if b.Strings[k] != v {
+			return false
+		}
+	}
+	for k, v := range a.Values {
+		if math.Float64bits(b.Values[k]) != math.Float64bits(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQueryStreamMatchesOneShot is the streaming acceptance criterion: a
+// standing SSE subscription replayed tick by tick must reconstruct
+// exactly the one-shot query over the same window — for a raw plan the
+// concatenated deltas ARE the one-shot rows, and for an aggregate plan
+// replaying deltas last-write-wins per (window, group) cell converges to
+// the one-shot cells bit for bit.
+func TestQueryStreamMatchesOneShot(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{})
+	spec := smallSpec(t, 0)
+	createCluster(t, ts.URL, "c1", spec)
+
+	plans := map[string]string{
+		"raw": `{"version":1,"source":"tasks","ops":[
+			{"op":"filter","field":"outcome","eq":"finished"},
+			{"op":"map","fields":["tenant","duration_seconds"]}]}`,
+		"agg": `{"version":1,"source":"jobs","ops":[
+			{"op":"group_by","by":["tenant"]},
+			{"op":"window","size":"tick"},
+			{"op":"aggregate","aggs":[{"fn":"count","as":"jobs"},{"fn":"avg","field":"response_seconds"}]}]}`,
+	}
+
+	// Open the subscriptions BEFORE any tick runs, so the streams observe
+	// every commit live via the tick notification path.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	streams := map[string]*http.Response{}
+	for name, plan := range plans {
+		resp, err := openStream(t, ctx, ts.URL, "c1", plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stream %s: %d", name, resp.StatusCode)
+		}
+		streams[name] = resp
+	}
+
+	for i := 0; i < spec.Iterations; i++ {
+		if code, body := do(t, "POST", ts.URL+"/v1/clusters/c1/tick", ""); code != http.StatusOK {
+			t.Fatalf("tick %d: %d: %s", i, code, body)
+		}
+	}
+
+	for name, resp := range streams {
+		events := readSSE(t, resp)
+		if len(events) == 0 || events[len(events)-1].name != "done" {
+			t.Fatalf("stream %s: want terminal done event, got %d events (last: %+v)",
+				name, len(events), events[len(events)-1])
+		}
+		var done service.StreamDone
+		if err := json.Unmarshal([]byte(events[len(events)-1].data), &done); err != nil {
+			t.Fatal(err)
+		}
+		if done.Ticks != spec.Iterations {
+			t.Fatalf("stream %s: done after %d ticks, want %d", name, done.Ticks, spec.Iterations)
+		}
+
+		code, body := do(t, "POST", ts.URL+"/v1/clusters/c1/query", plans[name])
+		if code != http.StatusOK {
+			t.Fatalf("one-shot %s: %d: %s", name, code, body)
+		}
+		var oneShot tempo.QueryResult
+		if err := json.Unmarshal(body, &oneShot); err != nil {
+			t.Fatal(err)
+		}
+
+		var streamed []tempo.QueryRow
+		lastTick := -1
+		for _, ev := range events[:len(events)-1] {
+			if ev.name != "result" {
+				t.Fatalf("stream %s: unexpected event %q (%s)", name, ev.name, ev.data)
+			}
+			var delta service.StreamResult
+			if err := json.Unmarshal([]byte(ev.data), &delta); err != nil {
+				t.Fatal(err)
+			}
+			if delta.Tick <= lastTick {
+				t.Fatalf("stream %s: ticks out of order: %d after %d", name, delta.Tick, lastTick)
+			}
+			lastTick = delta.Tick
+			streamed = append(streamed, delta.Rows...)
+		}
+
+		switch name {
+		case "raw":
+			// Raw rows are append-only: the concatenated deltas are the
+			// one-shot rows, in the same order.
+			if len(streamed) != len(oneShot.Rows) {
+				t.Fatalf("raw: streamed %d rows, one-shot %d", len(streamed), len(oneShot.Rows))
+			}
+			for i := range streamed {
+				if !sameRow(streamed[i], oneShot.Rows[i]) {
+					t.Fatalf("raw row %d: stream %+v != one-shot %+v", i, streamed[i], oneShot.Rows[i])
+				}
+			}
+		case "agg":
+			replay := map[string]tempo.QueryRow{}
+			for _, r := range streamed {
+				replay[rowKey(r)] = r
+			}
+			if len(replay) != len(oneShot.Rows) {
+				t.Fatalf("agg: replay has %d cells, one-shot %d", len(replay), len(oneShot.Rows))
+			}
+			for _, want := range oneShot.Rows {
+				got, ok := replay[rowKey(want)]
+				if !ok {
+					t.Fatalf("agg: one-shot cell %+v never streamed", want)
+				}
+				if !sameRow(got, want) {
+					t.Fatalf("agg cell %s: stream %+v != one-shot %+v", rowKey(want), got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestQueryStreamLimit pins the subscription cap: streams beyond
+// Config.MaxStreams are refused with 429 subscription_limit, and slots
+// free up when a stream ends.
+func TestQueryStreamLimit(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{MaxStreams: 1})
+	createCluster(t, ts.URL, "c1", smallSpec(t, 0))
+	plan := `{"version":1,"source":"events"}`
+
+	ctx, cancel := context.WithCancel(context.Background())
+	first, err := openStream(t, ctx, ts.URL, "c1", plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Body.Close()
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("first stream: %d", first.StatusCode)
+	}
+
+	second, err := openStream(t, context.Background(), ts.URL, "c1", plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := json.NewDecoder(second.Body)
+	var env service.ErrorEnvelope
+	if second.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second stream: got %d, want 429", second.StatusCode)
+	}
+	if err := body.Decode(&env); err != nil || env.Code != service.CodeStreamLimit {
+		t.Fatalf("second stream envelope: %+v (err %v), want code %q", env, err, service.CodeStreamLimit)
+	}
+	second.Body.Close()
+
+	// Dropping the first stream frees its slot.
+	cancel()
+	for i := 0; ; i++ {
+		resp, err := openStream(t, context.Background(), ts.URL, "c1", plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := resp.StatusCode == http.StatusOK
+		resp.Body.Close()
+		if ok {
+			break
+		}
+		if i > 100 {
+			t.Fatal("slot never freed after the first stream disconnected")
+		}
+	}
+}
+
+// TestQueryStreamClusterDeleted pins the mid-stream teardown path: a
+// standing subscription on a cluster that gets deleted ends with an
+// "error" event carrying the not_found code.
+func TestQueryStreamClusterDeleted(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{})
+	createCluster(t, ts.URL, "c1", smallSpec(t, 0))
+
+	resp, err := openStream(t, context.Background(), ts.URL, "c1", `{"version":1,"source":"events"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: %d", resp.StatusCode)
+	}
+	if code, _ := do(t, "DELETE", ts.URL+"/v1/clusters/c1", ""); code != http.StatusNoContent {
+		t.Fatalf("delete: %d", code)
+	}
+	events := readSSE(t, resp)
+	if len(events) == 0 {
+		t.Fatal("stream ended without a terminal event")
+	}
+	last := events[len(events)-1]
+	if last.name != "error" {
+		t.Fatalf("want terminal error event, got %q (%s)", last.name, last.data)
+	}
+	var env service.ErrorEnvelope
+	if err := json.Unmarshal([]byte(last.data), &env); err != nil || env.Code != service.CodeNotFound {
+		t.Fatalf("error event data %s, want code %q", last.data, service.CodeNotFound)
+	}
+}
+
+// TestQueryEndpointInvalidPlans locks the one-shot endpoint's failure
+// envelope: malformed and out-of-bounds plans are 400 invalid_plan with
+// the offending operator named.
+func TestQueryEndpointInvalidPlans(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{})
+	createCluster(t, ts.URL, "c1", smallSpec(t, 0))
+
+	for _, tc := range []struct {
+		name, plan, wantSub string
+	}{
+		{"unknown source", `{"version":1,"source":"nope"}`, "unknown source"},
+		{"unknown op", `{"version":1,"source":"events","ops":[{"op":"join"}]}`, "ops[0]"},
+		{"wrong version", `{"version":9,"source":"events"}`, "unsupported version 9"},
+		{"group_by without aggregate", `{"version":1,"source":"jobs","ops":[{"op":"group_by","by":["tenant"]}]}`, "group_by"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := do(t, "POST", ts.URL+"/v1/clusters/c1/query", tc.plan)
+			if code != http.StatusBadRequest {
+				t.Fatalf("got %d (%s), want 400", code, body)
+			}
+			var env service.ErrorEnvelope
+			if err := json.Unmarshal(body, &env); err != nil || env.Code != service.CodeInvalidPlan {
+				t.Fatalf("envelope %s, want code %q", body, service.CodeInvalidPlan)
+			}
+			if !strings.Contains(env.Error, tc.wantSub) {
+				t.Fatalf("error %q does not name the problem (%q)", env.Error, tc.wantSub)
+			}
+		})
+	}
+}

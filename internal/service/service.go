@@ -75,6 +75,16 @@ type Config struct {
 	// DrainTimeout bounds how long Close waits for queued and in-flight
 	// ticks to finish before cutting the shard workers off; 0 means 5s.
 	DrainTimeout time.Duration
+	// MaxStreams caps concurrent standing query subscriptions (SSE)
+	// across all clusters; 0 means 64. Requests past the cap get 429 with
+	// code "subscription_limit" — a stream holds a goroutine and a
+	// per-subscription query runner for its whole life, so the cap is the
+	// service's live-query memory bound.
+	MaxStreams int
+	// StreamHeartbeat is the idle keep-alive interval of query streams
+	// (an SSE comment, so proxies don't reap quiet connections); 0 means
+	// 15s.
+	StreamHeartbeat time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +109,12 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
 	}
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = 64
+	}
+	if c.StreamHeartbeat <= 0 {
+		c.StreamHeartbeat = 15 * time.Second
+	}
 	return c
 }
 
@@ -122,8 +138,12 @@ type Service struct {
 	clusters map[string]*Cluster
 	closed   bool
 
-	qsQueries   counter
-	whatifEvals counter
+	qsQueries    counter
+	whatifEvals  counter
+	queryOneShot counter
+	// streams is the live subscription gauge; handleQueryStream increments
+	// it under the MaxStreams cap and decrements on disconnect.
+	streams counter
 }
 
 // Cluster is one hosted tenant cluster: a Session pinned to a shard.
@@ -142,6 +162,33 @@ type Cluster struct {
 	// deleted latches once the cluster is torn down; ticks queued behind
 	// the deletion observe it and fail with ErrNotFound.
 	deleted bool
+	// tickc is the change-notification channel standing query streams
+	// wait on: closed and replaced under mu whenever a tick commits or
+	// the cluster is deleted, so every waiter wakes exactly once per
+	// change and re-reads the session.
+	tickc chan struct{}
+}
+
+// changed returns a channel that closes on the cluster's next committed
+// tick (or its deletion). Call it before reading Session.Ticks so a
+// commit between the read and the wait cannot be missed.
+func (c *Cluster) changed() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tickc
+}
+
+// isDeleted reports whether the cluster has been torn down.
+func (c *Cluster) isDeleted() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deleted
+}
+
+// notifyLocked wakes every changed() waiter. Callers hold c.mu.
+func (c *Cluster) notifyLocked() {
+	close(c.tickc)
+	c.tickc = make(chan struct{})
 }
 
 // New starts a control plane with the given sizing (zero fields take
@@ -202,6 +249,7 @@ func (s *Service) recoverCluster(id string) (*Cluster, error) {
 		Session: sess,
 		Created: time.Now(),
 		store:   cs,
+		tickc:   make(chan struct{}),
 	}, nil
 }
 
@@ -274,7 +322,7 @@ func (s *Service) Create(id string, spec *tempo.Scenario) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{ID: id, Shard: s.shardFor(id), Session: sess, Created: time.Now()}
+	c := &Cluster{ID: id, Shard: s.shardFor(id), Session: sess, Created: time.Now(), tickc: make(chan struct{})}
 	if s.cfg.Store != nil {
 		// The store is the arbiter between racing Creates on one id: the
 		// loser sees store.ErrExists before touching the registry.
@@ -351,6 +399,7 @@ func (s *Service) execTick(c *Cluster) (tempo.ScenarioIteration, error) {
 	if err != nil {
 		return it, err
 	}
+	defer c.notifyLocked() // wake query streams once the commit is durable
 	if st := c.Session.Search(it.Index); st != nil {
 		sh := s.shards[c.Shard]
 		sh.scored.add(int64(st.FullyScored))
@@ -384,6 +433,7 @@ func (s *Service) execDelete(c *Cluster) error {
 		return fmt.Errorf("%w: %s", ErrNotFound, c.ID)
 	}
 	c.deleted = true
+	c.notifyLocked() // streams wake, observe deleted, and end
 	if c.store != nil {
 		return s.cfg.Store.DeleteCluster(c.store)
 	}
@@ -424,6 +474,17 @@ func (s *Service) QS(c *Cluster, from, to time.Duration) ([]tempo.WindowQS, erro
 	}
 	s.qsQueries.add(1)
 	return windows, nil
+}
+
+// Query runs a one-shot query plan over every interval the cluster has
+// observed (see tempo.Session.Query).
+func (s *Service) Query(c *Cluster, p *tempo.QueryPlan) (*tempo.QueryResult, error) {
+	res, err := c.Session.Query(p)
+	if err != nil {
+		return nil, err
+	}
+	s.queryOneShot.add(1)
+	return res, nil
 }
 
 // WhatIf scores candidate configurations in the cluster's What-if Model.

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"tempo"
+)
+
+// StreamResult is the data payload of one SSE "result" event: the delta
+// rows tick produced under the standing plan. Replaying every event's
+// rows last-write-wins keyed by (window, group) reconstructs exactly the
+// one-shot POST /v1/clusters/{id}/query result over the same window —
+// the two modes share the Runner, so they cannot drift.
+type StreamResult struct {
+	Tick int              `json:"tick"`
+	Rows []tempo.QueryRow `json:"rows"`
+}
+
+// StreamDone is the data payload of the terminal "done" event, sent once
+// the session has exhausted its iteration budget and every tick has been
+// delivered.
+type StreamDone struct {
+	Ticks int `json:"ticks"`
+}
+
+// handleQueryStream answers GET /v1/clusters/{id}/query/stream?plan=<json>:
+// a standing query subscription over server-sent events. Each committed
+// control interval is pushed through the plan incrementally and the
+// changed rows stream out as "result" events; idle periods carry
+// ": keepalive" comments every Config.StreamHeartbeat. The stream ends
+// with "done" when the session completes, or "error" if the cluster is
+// deleted mid-stream. Admission is capped at Config.MaxStreams live
+// subscriptions (429 subscription_limit beyond that).
+func (s *Service) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	c, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	planText := r.URL.Query().Get("plan")
+	if planText == "" {
+		writeError(w, http.StatusBadRequest, CodeInvalidPlan, errors.New("missing plan query parameter"))
+		return
+	}
+	plan, err := tempo.ParseQueryPlan(strings.NewReader(planText))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidPlan, err)
+		return
+	}
+	runner, err := c.Session.NewQueryRunner(plan)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidPlan, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, CodeInternal, errors.New("streaming unsupported by connection"))
+		return
+	}
+	if s.streams.n.Add(1) > int64(s.cfg.MaxStreams) {
+		s.streams.n.Add(-1)
+		writeError(w, http.StatusTooManyRequests, CodeStreamLimit,
+			fmt.Errorf("subscription limit reached (%d live streams)", s.cfg.MaxStreams))
+		return
+	}
+	defer s.streams.n.Add(-1)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	emit := func(event string, v any) bool {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+		return err == nil
+	}
+
+	ctx := r.Context()
+	heartbeat := time.NewTicker(s.cfg.StreamHeartbeat)
+	defer heartbeat.Stop()
+	next := 0 // next tick to push through the runner
+	for {
+		// Snapshot the notification channel BEFORE reading progress: a tick
+		// that commits between the reads closes this exact channel, so the
+		// select below wakes immediately instead of missing it.
+		ch := c.changed()
+		if c.isDeleted() {
+			emit("error", ErrorEnvelope{Error: "cluster deleted", Code: CodeNotFound})
+			return
+		}
+		done := c.Session.Done()
+		ticks := c.Session.Ticks()
+		for next < ticks {
+			sched := c.Session.ObservedSchedule(next)
+			rows, err := runner.PushTick(next, sched)
+			if err != nil {
+				emit("error", ErrorEnvelope{Error: err.Error(), Code: CodeBadRequest})
+				return
+			}
+			if len(rows) > 0 {
+				if !emit("result", StreamResult{Tick: next, Rows: rows}) {
+					return
+				}
+			}
+			next++
+		}
+		flusher.Flush()
+		if done {
+			emit("done", StreamDone{Ticks: next})
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ch:
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}

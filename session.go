@@ -9,9 +9,31 @@ import (
 
 	"tempo/internal/core"
 	"tempo/internal/qs"
+	"tempo/internal/query"
 	"tempo/internal/scenario"
 	"tempo/internal/whatif"
 )
+
+// The ad-hoc query layer (internal/query), re-exported so serving-layer
+// callers depend on the root package only.
+type (
+	// QueryPlan is a validated, bounded JSON query over a session's
+	// schedule events (see internal/query for the plan grammar).
+	QueryPlan = query.Plan
+	// QueryResult is a one-shot query's full, deterministically ordered
+	// answer.
+	QueryResult = query.Result
+	// QueryRow is one result row.
+	QueryRow = query.ResultRow
+	// QueryRunner is a compiled standing query; the serving layer feeds it
+	// ticks as they commit and streams the returned deltas.
+	QueryRunner = query.Runner
+)
+
+// ParseQueryPlan decodes and validates a query plan from r. Unknown
+// fields and out-of-bounds plans are rejected with errors naming the
+// offending operator.
+func ParseQueryPlan(r io.Reader) (*QueryPlan, error) { return query.ParsePlan(r) }
 
 // Declarative scenarios (internal/scenario), re-exported so serving-layer
 // callers depend on the root package only.
@@ -256,6 +278,57 @@ func (s *Session) QS(from, to time.Duration) ([]WindowQS, error) {
 		})
 	}
 	return out, nil
+}
+
+// Query runs a one-shot query plan over every control interval observed
+// so far: the plan compiles to an operator pipeline (internal/query)
+// that is fed each interval's schedule in order, exactly as a standing
+// subscription would be — the two modes agree by construction. The
+// result is deterministic: the same session and plan always produce the
+// same rows in the same order.
+func (s *Session) Query(p *QueryPlan) (*QueryResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, err := query.Compile(p, s.rt.Interval)
+	if err != nil {
+		return nil, err
+	}
+	done := s.rt.StepsDone()
+	for i := 0; i < done; i++ {
+		sched := s.rt.ObservedSchedule(i)
+		if sched == nil {
+			break
+		}
+		if _, err := r.PushTick(i, sched); err != nil {
+			return nil, err
+		}
+	}
+	return r.Result(), nil
+}
+
+// QueryRunner compiles a plan into a standing runner for this session;
+// the caller feeds it ticks (Session.ObservedSchedule) as they commit.
+// Each session tick is an independent emulation of its control interval,
+// which is exactly the granularity the runner ingests.
+func (s *Session) NewQueryRunner(p *QueryPlan) (*QueryRunner, error) {
+	return query.Compile(p, s.Interval())
+}
+
+// SLOPlan is the query plan that re-expresses the session's own SLO
+// template set in the query layer — the ROADMAP's acceptance bar: its
+// per-tick values are bit-identical to the control loop's observed QS
+// vector (qs.EvalStream over each interval's full window).
+func (s *Session) SLOPlan() *QueryPlan {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &query.Plan{
+		Version: query.Version,
+		Source:  "events",
+		Ops: []query.OpSpec{{
+			Op:   "aggregate",
+			SLOs: append([]qs.Template(nil), s.rt.Templates...),
+		}},
+	}
 }
 
 // WhatIf scores candidate RM configurations in the scenario's What-if

@@ -46,15 +46,36 @@ func main() {
 		shards   = flag.Int("shards", 4, "in-process service: cluster shards")
 		shardW   = flag.Int("shard-workers", 2, "in-process service: tick workers per shard")
 		asJSON   = flag.Bool("json", false, "emit the drive report as JSON")
+
+		retries   = flag.Int("retries", 3, "retry budget per request for retryable 503/429 refusals (0 = fail fast)")
+		retryBase = flag.Duration("retry-base", 0, "base retry backoff (0 = driver default 25ms)")
+		retryMax  = flag.Duration("retry-max", 0, "retry backoff cap (0 = driver default 2s)")
+		retrySeed = flag.Int64("retry-seed", 1, "seed for deterministic backoff jitter")
+		timeout   = flag.Duration("timeout", 0, "per-request timeout (0 = driver default 30s)")
 	)
 	flag.Parse()
-	if err := run(*addr, *specPath, *clusters, *workers, *rate, *qsEvery, *qEvery, *wiEvery, *stride, *shards, *shardW, *verify, *asJSON); err != nil {
+	opts := service.DriveOptions{
+		Clusters:       *clusters,
+		Workers:        *workers,
+		SeedStride:     *stride,
+		TickRate:       *rate,
+		QSEvery:        *qsEvery,
+		QueryEvery:     *qEvery,
+		WhatIfEvery:    *wiEvery,
+		Verify:         *verify,
+		RequestTimeout: *timeout,
+		Retries:        *retries,
+		RetryBase:      *retryBase,
+		RetryMax:       *retryMax,
+		RetrySeed:      *retrySeed,
+	}
+	if err := run(*addr, *specPath, opts, *shards, *shardW, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, specPath string, clusters, workers int, rate float64, qsEvery, queryEvery, wiEvery int, stride int64, shards, shardWorkers int, verify, asJSON bool) error {
+func run(addr, specPath string, opts service.DriveOptions, shards, shardWorkers int, asJSON bool) error {
 	var baseSpec *scenario.Spec
 	var err error
 	if specPath != "" {
@@ -65,6 +86,7 @@ func run(addr, specPath string, clusters, workers int, rate float64, qsEvery, qu
 	if err != nil {
 		return err
 	}
+	opts.BaseSpec = baseSpec
 
 	if addr == "" {
 		svc, err := service.New(service.Config{Shards: shards, WorkersPerShard: shardWorkers})
@@ -83,17 +105,7 @@ func run(addr, specPath string, clusters, workers int, rate float64, qsEvery, qu
 		fmt.Printf("loadgen: in-process tempod on %s (%d shards x %d workers)\n", addr, shards, shardWorkers)
 	}
 
-	rep, err := service.Drive(addr, service.DriveOptions{
-		Clusters:    clusters,
-		Workers:     workers,
-		BaseSpec:    baseSpec,
-		SeedStride:  stride,
-		TickRate:    rate,
-		QSEvery:     qsEvery,
-		QueryEvery:  queryEvery,
-		WhatIfEvery: wiEvery,
-		Verify:      verify,
-	})
+	rep, err := service.Drive(addr, opts)
 	if err != nil {
 		return err
 	}
@@ -108,7 +120,10 @@ func run(addr, specPath string, clusters, workers int, rate float64, qsEvery, qu
 	fmt.Printf("loadgen: %d clusters x %d iterations (%s): %d ticks, %d qs queries, %d ad-hoc queries, %d what-if calls in %.2fs\n",
 		rep.Clusters, rep.Iterations, baseSpec.Name, rep.Ticks, rep.QSQueries, rep.QueryCalls, rep.WhatIfCalls, rep.WallSeconds)
 	fmt.Printf("loadgen: %.1f ticks/sec, %.1f clusters/sec\n", rep.TicksPerSec, rep.ClustersDone)
-	if verify {
+	if rep.Retries > 0 {
+		fmt.Printf("loadgen: %d requests shed and retried\n", rep.Retries)
+	}
+	if opts.Verify {
 		fmt.Printf("loadgen: %d/%d reports bit-identical to sequential runs\n", rep.Verified, rep.Clusters)
 	}
 	return nil

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -74,8 +75,8 @@ func crashChild() error {
 	if err != nil {
 		return err
 	}
-	for !c.Session.Done() {
-		if _, _, err := svc.Tick(c); err != nil {
+	for !c.Session().Done() {
+		if _, _, err := svc.Tick(context.Background(), c); err != nil {
 			return err
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -154,13 +155,13 @@ func TestKillDashNineRecovery(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			recoveredAt := c.Session.Ticks()
-			for !c.Session.Done() {
-				if _, _, err := svc.Tick(c); err != nil {
+			recoveredAt := c.Session().Ticks()
+			for !c.Session().Done() {
+				if _, _, err := svc.Tick(context.Background(), c); err != nil {
 					t.Fatal(err)
 				}
 			}
-			got, err := c.Session.Report().MarshalCanonical()
+			got, err := c.Session().Report().MarshalCanonical()
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -41,6 +41,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -48,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"tempo/internal/chaos"
 	"tempo/internal/service"
 	"tempo/internal/store"
 )
@@ -69,6 +71,12 @@ func main() {
 		fsyncBytes = flag.Int("fsync-bytes", 1<<20, "WAL dirty-byte threshold forcing an fsync (with -data)")
 		snapEvery  = flag.Int("snapshot-every", 8, "control-loop snapshot period in ticks (with -data)")
 		drain      = flag.Duration("drain-timeout", 5*time.Second, "shutdown deadline for draining queued and in-flight ticks")
+
+		reqTimeout = flag.Duration("request-timeout", 60*time.Second, "per-request read/write deadline on the API listener")
+		admTimeout = flag.Duration("admission-timeout", time.Second, "max wait for a shard queue slot before a tick is shed with 503 overloaded")
+
+		chaosSeed = flag.Int64("chaos-seed", 0, "seed for deterministic fault injection; 0 disables chaos unless -chaos-spec is set")
+		chaosSpec = flag.String("chaos-spec", "", "JSON fault-schedule spec file for chaos injection (implies chaos on, even with seed 0)")
 	)
 	flag.Parse()
 	err := run(runConfig{
@@ -77,6 +85,8 @@ func main() {
 		maxStreams: *maxStreams, streamHeartbeat: *heartbeat,
 		dataDir: *dataDir, fsyncInterval: *fsyncEvery, fsyncBytes: *fsyncBytes,
 		snapshotEvery: *snapEvery, drainTimeout: *drain,
+		requestTimeout: *reqTimeout, admissionTimeout: *admTimeout,
+		chaosSeed: *chaosSeed, chaosSpecPath: *chaosSpec,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tempod:", err)
@@ -98,37 +108,88 @@ type runConfig struct {
 	fsyncBytes    int
 	snapshotEvery int
 	drainTimeout  time.Duration
+
+	requestTimeout   time.Duration
+	admissionTimeout time.Duration
+	chaosSeed        int64
+	chaosSpecPath    string
 }
 
 func run(cfg runConfig) error {
+	var inj *chaos.Injector
+	if cfg.chaosSeed != 0 || cfg.chaosSpecPath != "" {
+		spec := chaos.Default()
+		if cfg.chaosSpecPath != "" {
+			var err error
+			spec, err = chaos.LoadSpecFile(cfg.chaosSpecPath)
+			if err != nil {
+				return err
+			}
+		}
+		var err error
+		inj, err = chaos.New(cfg.chaosSeed, spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tempod: CHAOS ENABLED (seed %d) — injecting deterministic faults\n", inj.Seed())
+	}
+
+	// The API listener opens BEFORE recovery so liveness probes get answers
+	// during a long WAL replay; the gate serves "starting" until the real
+	// handler is installed, and /v1/readyz stays 503 for that window.
+	gate := service.NewGate()
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           gate,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       cfg.requestTimeout,
+		WriteTimeout:      cfg.requestTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
 	var st *store.Store
 	if cfg.dataDir != "" {
-		var err error
 		st, err = store.Open(cfg.dataDir, store.Options{
 			SyncInterval: cfg.fsyncInterval,
 			SyncBytes:    cfg.fsyncBytes,
+			Stall: func() {
+				if d := inj.FsyncStall(); d > 0 {
+					time.Sleep(d)
+				}
+			},
 		})
 		if err != nil {
+			srv.Close()
 			return err
 		}
 	}
 	svc, err := service.New(service.Config{
-		Shards:          cfg.shards,
-		WorkersPerShard: cfg.workers,
-		QueueDepth:      cfg.queue,
-		Parallelism:     cfg.parallelism,
-		MaxStreams:      cfg.maxStreams,
-		StreamHeartbeat: cfg.streamHeartbeat,
-		Store:           st,
-		SnapshotEvery:   cfg.snapshotEvery,
-		DrainTimeout:    cfg.drainTimeout,
+		Shards:           cfg.shards,
+		WorkersPerShard:  cfg.workers,
+		QueueDepth:       cfg.queue,
+		Parallelism:      cfg.parallelism,
+		MaxStreams:       cfg.maxStreams,
+		StreamHeartbeat:  cfg.streamHeartbeat,
+		Store:            st,
+		SnapshotEvery:    cfg.snapshotEvery,
+		DrainTimeout:     cfg.drainTimeout,
+		AdmissionTimeout: cfg.admissionTimeout,
+		Chaos:            inj,
 	})
 	if err != nil {
+		srv.Close()
 		if st != nil {
 			st.Close()
 		}
 		return err
 	}
+	gate.Set(svc.Handler())
 	// Deferred last: runs after the API and pprof listeners are down, so
 	// no new ticks can arrive while it drains the shard queues (bounded by
 	// -drain-timeout) and flushes + closes the store.
@@ -150,7 +211,16 @@ func run(cfg runConfig) error {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		pprofServer = &http.Server{Addr: cfg.pprofAddr, Handler: mux}
+		// Long trace/profile downloads need a generous write window; the
+		// header/read limits still shut out idle or slow-loris peers.
+		pprofServer = &http.Server{
+			Addr:              cfg.pprofAddr,
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       time.Minute,
+			WriteTimeout:      10 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go func() {
 			if err := pprofServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "tempod: pprof listener:", err)
@@ -159,9 +229,6 @@ func run(cfg runConfig) error {
 		fmt.Printf("tempod: pprof on %s\n", cfg.pprofAddr)
 	}
 
-	srv := &http.Server{Addr: cfg.addr, Handler: svc.Handler()}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("tempod: serving on %s (%d shards x %d workers)\n", cfg.addr, cfg.shards, cfg.workers)
 
 	sigc := make(chan os.Signal, 1)

@@ -1,0 +1,154 @@
+package chaos_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tempo/internal/chaos"
+)
+
+// drainDecisions pulls a fixed decision schedule out of an injector:
+// n tick decisions for each named cluster plus n handler and fsync
+// draws, interleaved the same way every call.
+func drainDecisions(t *testing.T, in *chaos.Injector, clusters []string, n int) []string {
+	t.Helper()
+	var out []string
+	for i := 0; i < n; i++ {
+		for _, c := range clusters {
+			delay, tear, at := in.TickFaults(c)
+			out = append(out, c, delay.String(), boolStr(tear), time.Duration(at).String())
+		}
+		out = append(out, boolStr(in.ShedRequest()), in.FsyncStall().String())
+	}
+	return out
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "t"
+	}
+	return "f"
+}
+
+func TestDeterministicDecisions(t *testing.T) {
+	spec := chaos.Spec{
+		TickLatency: 0.3, TickLatencyMs: 5,
+		WALFault:     0.25,
+		HandlerError: 0.2,
+		FsyncStall:   0.2, FsyncStallMs: 3,
+	}
+	clusters := []string{"c-a", "c-b", "c-c"}
+	mk := func(seed int64) []string {
+		in, err := chaos.New(seed, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return drainDecisions(t, in, clusters, 64)
+	}
+	a, b := mk(7), mk(7)
+	if strings.Join(a, "|") != strings.Join(b, "|") {
+		t.Fatalf("same seed produced different decision streams")
+	}
+	if strings.Join(a, "|") == strings.Join(mk(8), "|") {
+		t.Fatalf("different seeds produced identical decision streams")
+	}
+	// Counts are part of the deterministic surface too.
+	inA, _ := chaos.New(7, spec)
+	inB, _ := chaos.New(7, spec)
+	drainDecisions(t, inA, clusters, 64)
+	drainDecisions(t, inB, clusters, 64)
+	if inA.Counts() != inB.Counts() {
+		t.Fatalf("same seed, different counts: %+v vs %+v", inA.Counts(), inB.Counts())
+	}
+	c := inA.Counts()
+	if c.TickDelays == 0 || c.WALFaults == 0 || c.HandlerSheds == 0 || c.FsyncStalls == 0 {
+		t.Fatalf("expected every class to fire at these probabilities, got %+v", c)
+	}
+}
+
+func TestClusterStreamsIndependent(t *testing.T) {
+	// One cluster's decision sequence must not depend on what other
+	// clusters did in between — that's what makes shard interleaving
+	// irrelevant.
+	spec := chaos.Spec{TickLatency: 0.5, TickLatencyMs: 1, WALFault: 0.5}
+	seq := func(noise bool) []string {
+		in, err := chaos.New(3, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for i := 0; i < 32; i++ {
+			if noise {
+				in.TickFaults("other")
+				in.ShedRequest()
+			}
+			d, tear, at := in.TickFaults("target")
+			out = append(out, d.String(), boolStr(tear), time.Duration(at).String())
+		}
+		return out
+	}
+	if strings.Join(seq(false), "|") != strings.Join(seq(true), "|") {
+		t.Fatalf("interleaved traffic on other clusters perturbed the target's fault schedule")
+	}
+}
+
+func TestProbabilityEdges(t *testing.T) {
+	never, err := chaos.New(1, chaos.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	always, err := chaos.New(1, chaos.Spec{
+		TickLatency: 1, TickLatencyMs: 1,
+		WALFault:     1,
+		HandlerError: 1,
+		FsyncStall:   1, FsyncStallMs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if d, tear, _ := never.TickFaults("c"); d != 0 || tear {
+			t.Fatalf("zero spec injected a fault")
+		}
+		if never.ShedRequest() || never.FsyncStall() != 0 {
+			t.Fatalf("zero spec injected a fault")
+		}
+		if d, tear, at := always.TickFaults("c"); d == 0 || !tear || at < 0 || at >= 12 {
+			t.Fatalf("p=1 spec missed a fault (delay=%v tear=%v at=%d)", d, tear, at)
+		}
+		if !always.ShedRequest() || always.FsyncStall() == 0 {
+			t.Fatalf("p=1 spec missed a fault")
+		}
+	}
+	// A nil injector is inert — callers don't need to guard.
+	var nilInj *chaos.Injector
+	if d, tear, _ := nilInj.TickFaults("c"); d != 0 || tear || nilInj.ShedRequest() || nilInj.FsyncStall() != 0 {
+		t.Fatalf("nil injector injected a fault")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	s, err := chaos.ParseSpec(strings.NewReader(`{"tick_latency": 0.5, "wal_fault": 0.1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TickLatency != 0.5 || s.WALFault != 0.1 {
+		t.Fatalf("parsed spec %+v", s)
+	}
+	if s.TickLatencyMs == 0 {
+		t.Fatalf("enabled tick latency did not default its magnitude")
+	}
+	if _, err := chaos.ParseSpec(strings.NewReader(`{"tick_latncy": 0.5}`)); err == nil {
+		t.Fatalf("unknown field accepted")
+	}
+	if _, err := chaos.ParseSpec(strings.NewReader(`{"wal_fault": 1.5}`)); err == nil {
+		t.Fatalf("out-of-range probability accepted")
+	}
+	if _, err := chaos.New(1, chaos.Spec{FsyncStallMs: -1}); err == nil {
+		t.Fatalf("negative magnitude accepted")
+	}
+	if err := chaos.Default().Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+}

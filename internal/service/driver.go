@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -53,6 +54,25 @@ type DriveOptions struct {
 	// Verify re-runs every cluster's scenario sequentially in process and
 	// compares the canonical report bytes against the service's.
 	Verify bool
+	// RequestTimeout bounds every HTTP request end to end; 0 means 30s.
+	RequestTimeout time.Duration
+	// Retries is how many times a refused request is retried after
+	// backoff; 0 disables retries. Only refusals that prove the request
+	// never executed are retried — 503/429 responses carrying a
+	// retryable envelope code (overloaded, degraded, unavailable,
+	// subscription_limit). Transport errors are NOT retried: the request
+	// may have reached the server and executed, and blindly replaying a
+	// tick could double-apply it.
+	Retries int
+	// RetryBase and RetryMax bound the capped exponential backoff:
+	// attempt k waits jitter(RetryBase·2^k) capped at RetryMax, then
+	// stretched to any Retry-After hint the server sent. Defaults 25ms
+	// and 2s.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// RetrySeed seeds the deterministic backoff jitter, so a replayed
+	// run waits the same schedule.
+	RetrySeed int64
 }
 
 func (o DriveOptions) withDefaults() (DriveOptions, error) {
@@ -71,6 +91,15 @@ func (o DriveOptions) withDefaults() (DriveOptions, error) {
 	}
 	if o.SeedStride == 0 {
 		o.SeedStride = 1
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 25 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 2 * time.Second
 	}
 	return o, nil
 }
@@ -91,6 +120,9 @@ type DriveReport struct {
 	// (always empty on success — any entry fails the run).
 	Verified   int      `json:"verified"`
 	Mismatched []string `json:"mismatched,omitempty"`
+	// Retries counts requests that were refused with a retryable 503/429
+	// and re-sent — the drive's view of how much shedding it absorbed.
+	Retries int64 `json:"retries"`
 }
 
 // Drive runs one load-generation pass against a control plane at baseURL.
@@ -118,7 +150,7 @@ func Drive(baseURL string, opts DriveOptions) (*DriveReport, error) {
 		ids[i] = spec.Name
 	}
 
-	client := &http.Client{}
+	client := newAPIClient(opts)
 	rep := &DriveReport{Clusters: opts.Clusters, Iterations: opts.BaseSpec.Iterations}
 	start := time.Now()
 
@@ -130,7 +162,7 @@ func Drive(baseURL string, opts DriveOptions) (*DriveReport, error) {
 			return err
 		}
 		var resp CreateResponse
-		return call(client, http.MethodPost, baseURL+"/v1/clusters", body, &resp)
+		return client.call(http.MethodPost, baseURL+"/v1/clusters", body, &resp)
 	}); err != nil {
 		return nil, fmt.Errorf("driver: creating clusters: %w", err)
 	}
@@ -147,13 +179,13 @@ func Drive(baseURL string, opts DriveOptions) (*DriveReport, error) {
 		round := t / opts.Clusters
 		throttle.wait()
 		var tick TickResponse
-		if err := call(client, http.MethodPost, baseURL+"/v1/clusters/"+ids[i]+"/tick", nil, &tick); err != nil {
+		if err := client.call(http.MethodPost, baseURL+"/v1/clusters/"+ids[i]+"/tick", nil, &tick); err != nil {
 			return fmt.Errorf("tick %d of %s: %w", round, ids[i], err)
 		}
 		ticks.Add(1)
 		if opts.QSEvery > 0 && round%opts.QSEvery == 0 {
 			var qs QSResponse
-			if err := call(client, http.MethodGet, baseURL+"/v1/clusters/"+ids[i]+"/qs", nil, &qs); err != nil {
+			if err := client.call(http.MethodGet, baseURL+"/v1/clusters/"+ids[i]+"/qs", nil, &qs); err != nil {
 				return fmt.Errorf("qs probe of %s: %w", ids[i], err)
 			}
 			qsQueries.Add(1)
@@ -188,7 +220,7 @@ func Drive(baseURL string, opts DriveOptions) (*DriveReport, error) {
 	// sequentially and compare bytes.
 	var mu sync.Mutex
 	if err := eachIndex(opts.Workers, opts.Clusters, func(i int) error {
-		got, err := fetchRaw(client, baseURL+"/v1/clusters/"+ids[i]+"/report")
+		got, err := client.fetchRaw(baseURL + "/v1/clusters/" + ids[i] + "/report")
 		if err != nil {
 			return err
 		}
@@ -214,6 +246,7 @@ func Drive(baseURL string, opts DriveOptions) (*DriveReport, error) {
 	}); err != nil {
 		return nil, fmt.Errorf("driver: verifying reports: %w", err)
 	}
+	rep.Retries = client.retried.Load()
 	if len(rep.Mismatched) > 0 {
 		return rep, fmt.Errorf("driver: %d/%d cluster reports differ from their sequential runs (first: %s) — sharded execution broke determinism",
 			len(rep.Mismatched), rep.Clusters, rep.Mismatched[0])
@@ -236,7 +269,7 @@ func deriveSpec(base []byte, baseName string, i int, stride int64) (*scenario.Sp
 // whatIfProbe scores two perturbed candidates: the equal-weight default
 // and one skewed toward the first tenant — a cheap, always-valid probe
 // shape for any scenario.
-func whatIfProbe(client *http.Client, baseURL, id string, spec *scenario.Spec) error {
+func whatIfProbe(client *apiClient, baseURL, id string, spec *scenario.Spec) error {
 	names := spec.TenantNames()
 	skew := map[string]scenario.TenantConfigSpec{names[0]: {Weight: 4}}
 	body, err := json.Marshal(WhatIfRequest{
@@ -246,7 +279,7 @@ func whatIfProbe(client *http.Client, baseURL, id string, spec *scenario.Spec) e
 		return err
 	}
 	var resp WhatIfResponse
-	return call(client, http.MethodPost, baseURL+"/v1/clusters/"+id+"/whatif", body, &resp)
+	return client.call(http.MethodPost, baseURL+"/v1/clusters/"+id+"/whatif", body, &resp)
 }
 
 // queryProbeJSON is the ad-hoc plan the driver's query probes POST: a
@@ -262,12 +295,12 @@ const queryProbeJSON = `{
 }`
 
 // queryProbe issues one ad-hoc query-plan request against cluster id.
-func queryProbe(client *http.Client, baseURL, id string) error {
+func queryProbe(client *apiClient, baseURL, id string) error {
 	var out struct {
 		Ticks int               `json:"ticks"`
 		Rows  []json.RawMessage `json:"rows"`
 	}
-	return call(client, http.MethodPost, baseURL+"/v1/clusters/"+id+"/query", []byte(queryProbeJSON), &out)
+	return client.call(http.MethodPost, baseURL+"/v1/clusters/"+id+"/query", []byte(queryProbeJSON), &out)
 }
 
 // eachIndex runs fn(0..n-1) across workers goroutines, stopping at the
@@ -345,37 +378,130 @@ func (t *throttle) wait() {
 
 func (t *throttle) stop() { close(t.done) }
 
-// call issues one JSON request and decodes the response into out.
-func call(client *http.Client, method, url string, body []byte, out any) error {
-	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
+// apiClient wraps http.Client with the driver's resilience policy: an
+// end-to-end request timeout, plus capped exponential backoff with
+// deterministic jitter for refusals the server guarantees never executed
+// (503/429 carrying a retryable envelope code). The jitter stream is a
+// pure function of (seed, draw index), so a replayed run waits the same
+// schedule — load generation stays reproducible under injected faults.
+type apiClient struct {
+	c         *http.Client
+	retries   int
+	base, max time.Duration
+	seed      uint64
+	draws     atomic.Uint64
+	retried   atomic.Int64
+	sleep     func(time.Duration) // swapped out by tests to record waits
+}
+
+func newAPIClient(opts DriveOptions) *apiClient {
+	return &apiClient{
+		c:       &http.Client{Timeout: opts.RequestTimeout},
+		retries: opts.Retries,
+		base:    opts.RetryBase,
+		max:     opts.RetryMax,
+		seed:    uint64(opts.RetrySeed),
+		sleep:   time.Sleep,
 	}
-	req, err := http.NewRequest(method, url, rd)
-	if err != nil {
-		return err
+}
+
+// retryableCode reports whether an envelope code promises the request was
+// refused before execution, so replaying it is safe.
+func retryableCode(code string) bool {
+	switch code {
+	case CodeOverloaded, CodeDegraded, CodeUnavailable, CodeStreamLimit:
+		return true
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+	return false
+}
+
+// backoff returns the wait before retry attempt k (0-based): base·2^k
+// capped at max, scaled by a jittered factor in [0.5, 1.0) drawn from the
+// deterministic stream, then stretched to honor any Retry-After hint.
+func (cl *apiClient) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := cl.base << uint(attempt)
+	if d > cl.max || d <= 0 { // <= 0: shift overflow
+		d = cl.max
 	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return err
+	// splitmix64 finalizer over (seed ^ draw index): uniform, seeded, and
+	// independent of goroutine interleaving order only in aggregate — each
+	// draw is deterministic, the assignment of draws to requests is not,
+	// which is fine: the multiset of waits is reproducible.
+	x := cl.seed ^ (cl.draws.Add(1) * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	frac := float64(x>>11) / float64(1<<53) // [0, 1)
+	d = time.Duration(float64(d) * (0.5 + 0.5*frac))
+	if retryAfter > d {
+		d = retryAfter
 	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode/100 != 2 {
+	return d
+}
+
+// call issues one JSON request and decodes the response into out,
+// retrying refused-before-execution responses per the client's policy.
+// Transport errors are never retried: the request may have reached the
+// server and executed, and blindly replaying a tick could double-apply
+// it.
+func (cl *apiClient) call(method, url string, body []byte, out any) error {
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := cl.c.Do(req)
+		if err != nil {
+			return err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode/100 == 2 {
+			if out != nil {
+				if err := json.Unmarshal(raw, out); err != nil {
+					return fmt.Errorf("%s %s: decoding response: %w", method, url, err)
+				}
+			}
+			return nil
+		}
+		if attempt < cl.retries && retryableStatus(resp.StatusCode) {
+			var env ErrorEnvelope
+			if json.Unmarshal(raw, &env) == nil && retryableCode(env.Code) {
+				cl.retried.Add(1)
+				cl.sleep(cl.backoff(attempt, retryAfterHint(resp)))
+				continue
+			}
+		}
 		return fmt.Errorf("%s %s: %s", method, url, envelopeError(resp.Status, raw))
 	}
-	if out != nil {
-		if err := json.Unmarshal(raw, out); err != nil {
-			return fmt.Errorf("%s %s: decoding response: %w", method, url, err)
-		}
+}
+
+// retryableStatus limits retries to the two refusal statuses the service
+// uses for shed-before-execution responses.
+func retryableStatus(status int) bool {
+	return status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests
+}
+
+// retryAfterHint parses an integer-seconds Retry-After header; 0 if
+// absent or malformed.
+func retryAfterHint(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
 	}
-	return nil
+	return time.Duration(secs) * time.Second
 }
 
 // envelopeError renders a non-2xx response for humans: the service's
@@ -390,21 +516,32 @@ func envelopeError(status string, raw []byte) string {
 	return fmt.Sprintf("%s: %s", status, strings.TrimSpace(string(raw)))
 }
 
-// fetchRaw GETs a URL and returns the raw response bytes.
-func fetchRaw(client *http.Client, url string) ([]byte, error) {
-	resp, err := client.Get(url)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode/100 != 2 {
+// fetchRaw GETs a URL and returns the raw response bytes, under the same
+// retry policy as call.
+func (cl *apiClient) fetchRaw(url string) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := cl.c.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode/100 == 2 {
+			return raw, nil
+		}
+		if attempt < cl.retries && retryableStatus(resp.StatusCode) {
+			var env ErrorEnvelope
+			if json.Unmarshal(raw, &env) == nil && retryableCode(env.Code) {
+				cl.retried.Add(1)
+				cl.sleep(cl.backoff(attempt, retryAfterHint(resp)))
+				continue
+			}
+		}
 		return nil, fmt.Errorf("GET %s: %s", url, envelopeError(resp.Status, raw))
 	}
-	return raw, nil
 }
 
 func mustMarshal(spec *scenario.Spec) json.RawMessage {

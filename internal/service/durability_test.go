@@ -2,6 +2,7 @@ package service_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -51,7 +52,7 @@ func TestServiceDurableRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if _, _, err := svc.Tick(c); err != nil {
+		if _, _, err := svc.Tick(context.Background(), c); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -66,15 +67,15 @@ func TestServiceDurableRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := c2.Session.Ticks(); got != 4 {
+	if got := c2.Session().Ticks(); got != 4 {
 		t.Fatalf("recovered cluster at tick %d, want 4", got)
 	}
-	for !c2.Session.Done() {
-		if _, _, err := svc2.Tick(c2); err != nil {
+	for !c2.Session().Done() {
+		if _, _, err := svc2.Tick(context.Background(), c2); err != nil {
 			t.Fatal(err)
 		}
 	}
-	got, err := c2.Session.Report().MarshalCanonical()
+	got, err := c2.Session().Report().MarshalCanonical()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,10 +97,10 @@ func TestServiceDurableDelete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := svc.Tick(c); err != nil {
+	if _, _, err := svc.Tick(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
-	if err := svc.Delete("gone"); err != nil {
+	if err := svc.Delete(context.Background(), "gone"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := svc.Create("gone", spec); err != nil {
@@ -116,7 +117,7 @@ func TestServiceDurableDelete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := c2.Session.Ticks(); got != 0 {
+	if got := c2.Session().Ticks(); got != 0 {
 		t.Fatalf("recreated cluster recovered %d ticks from the deleted incarnation", got)
 	}
 }
@@ -149,7 +150,7 @@ func TestTickDeleteRace(t *testing.T) {
 			go func() {
 				defer wg.Done()
 				for {
-					_, _, err := svc.Tick(c)
+					_, _, err := svc.Tick(context.Background(), c)
 					if err == nil {
 						continue
 					}
@@ -166,7 +167,7 @@ func TestTickDeleteRace(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			time.Sleep(time.Duration(round) * time.Millisecond)
-			if err := svc.Delete(id); err != nil && !errors.Is(err, service.ErrNotFound) {
+			if err := svc.Delete(context.Background(), id); err != nil && !errors.Is(err, service.ErrNotFound) {
 				fail <- fmt.Errorf("delete: %w", err)
 			}
 		}()

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"mime"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"tempo"
@@ -25,7 +27,8 @@ import (
 //	GET    /v1/clusters/{id}/query/stream   standing query subscription (SSE, ?plan=<json>)
 //	POST   /v1/clusters/{id}/whatif         score candidate RM configurations
 //	GET    /v1/clusters/{id}/report         canonical scenario report (bit-reproducible)
-//	GET    /v1/healthz                      liveness
+//	GET    /v1/healthz                      liveness (200 while the process can serve at all)
+//	GET    /v1/readyz                       readiness (503 during startup recovery and Close drain)
 //	GET    /v1/metrics                      JSON counters (ticks, queries, per-shard latency quantiles)
 //
 // The pre-versioning unprefixed paths keep working as deprecated aliases
@@ -61,9 +64,71 @@ func (s *Service) Handler() http.Handler {
 	route("GET", "/clusters/{id}/report", s.handleReport)
 	route("GET", "/healthz", s.handleHealthz)
 	route("GET", "/metrics", s.handleMetrics)
+	v1Only("GET", "/readyz", s.handleReadyz)
 	v1Only("POST", "/clusters/{id}/query", s.handleQuery)
 	v1Only("GET", "/clusters/{id}/query/stream", s.handleQueryStream)
+	if s.cfg.Chaos != nil {
+		return s.chaosHandler(mux)
+	}
 	return mux
+}
+
+// chaosHandler sheds a seeded fraction of API requests with a 503
+// before they reach any handler — the injected equivalent of an
+// overloaded front end. Health, readiness, and metrics probes are
+// exempt so orchestration keeps an honest view. A shed request never
+// executes, so every endpoint stays retry-safe under injection by
+// construction.
+func (s *Service) chaosHandler(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/healthz", "/healthz", "/v1/readyz", "/v1/metrics", "/metrics":
+		default:
+			if s.cfg.Chaos.ShedRequest() {
+				s.shedRequests.add(1)
+				writeError(w, http.StatusServiceUnavailable, CodeUnavailable,
+					errors.New("chaos: injected handler error"))
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Gate is a startup readiness gate for daemons whose recovery takes
+// real time: start the listener on the Gate immediately, then Set the
+// real handler once service.New finishes WAL recovery. Before Set, the
+// gate answers liveness 200 ("starting"), readiness 503 ("recovering"),
+// and everything else 503 unavailable — so orchestration sees the
+// process alive but not ready for the whole recovery window.
+type Gate struct {
+	h atomic.Pointer[http.Handler]
+}
+
+// NewGate returns a gate with no handler installed.
+func NewGate() *Gate { return &Gate{} }
+
+// Set installs the real handler; every subsequent request flows through
+// it. Call once, when the service is ready.
+func (g *Gate) Set(h http.Handler) { g.h.Store(&h) }
+
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if hp := g.h.Load(); hp != nil {
+		(*hp).ServeHTTP(w, r)
+		return
+	}
+	switch r.URL.Path {
+	case "/v1/healthz", "/healthz":
+		writeJSON(w, http.StatusOK, map[string]any{"status": "starting"})
+	case "/v1/readyz":
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable,
+			errors.New("recovering: startup WAL recovery in progress"))
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable,
+			errors.New("starting up"))
+	}
 }
 
 // Error-envelope codes: the stable machine-readable half of every error
@@ -78,6 +143,12 @@ const (
 	CodeUnsupportedMedia = "unsupported_media_type"
 	CodeStreamLimit      = "subscription_limit"
 	CodeInternal         = "internal"
+	// CodeOverloaded marks a request shed at admission (queue full past
+	// the deadline); CodeDegraded a write refused because the cluster's
+	// durable store is failing. Both guarantee no state changed, so both
+	// are safe to retry after the Retry-After hint.
+	CodeOverloaded = "overloaded"
+	CodeDegraded   = "degraded"
 )
 
 // ErrorEnvelope is the uniform JSON error body.
@@ -108,6 +179,10 @@ func errStatus(err error) (int, string) {
 		return http.StatusConflict, CodeExists
 	case errors.Is(err, tempo.ErrSessionDone):
 		return http.StatusConflict, CodeConflict
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable, CodeOverloaded
+	case errors.Is(err, ErrDegraded):
+		return http.StatusServiceUnavailable, CodeDegraded
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable, CodeUnavailable
 	default:
@@ -205,18 +280,36 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatusResponse{
 		ID:         c.ID,
 		Shard:      c.Shard,
-		Ticks:      c.Session.Ticks(),
-		Iterations: c.Session.Spec().Iterations,
-		Done:       c.Session.Done(),
+		Ticks:      c.Session().Ticks(),
+		Iterations: c.Session().Spec().Iterations,
+		Done:       c.Session().Done(),
 	})
 }
 
 func (s *Service) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if err := s.Delete(r.PathValue("id")); err != nil {
-		writeServiceError(w, err)
+	if err := s.Delete(r.Context(), r.PathValue("id")); err != nil {
+		s.writeRetryableError(w, -1, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// writeRetryableError maps and emits a write-path error, attaching a
+// Retry-After hint to the retryable 503s (shed, degraded, draining) so
+// backoff clients don't have to guess. shard, when >= 0, selects whose
+// p99-derived hint to use for overload; other causes hint 1s.
+func (s *Service) writeRetryableError(w http.ResponseWriter, shard int, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		secs := 1
+		if shard >= 0 {
+			secs = s.shards[shard].retryAfterSeconds()
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	case errors.Is(err, ErrDegraded), errors.Is(err, ErrClosed):
+		w.Header().Set("Retry-After", "1")
+	}
+	writeServiceError(w, err)
 }
 
 // TickResponse is one completed control interval.
@@ -234,9 +327,9 @@ func (s *Service) handleTick(w http.ResponseWriter, r *http.Request) {
 		writeServiceError(w, err)
 		return
 	}
-	it, done, err := s.Tick(c)
+	it, done, err := s.Tick(r.Context(), c)
 	if err != nil {
-		writeServiceError(w, err)
+		s.writeRetryableError(w, c.Shard, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, TickResponse{
@@ -284,7 +377,7 @@ func (s *Service) handleQS(w http.ResponseWriter, r *http.Request) {
 		writeServiceError(w, err)
 		return
 	}
-	resp := QSResponse{Objectives: c.Session.Objectives(), Windows: []QSWindow{}}
+	resp := QSResponse{Objectives: c.Session().Objectives(), Windows: []QSWindow{}}
 	for _, win := range windows {
 		resp.Windows = append(resp.Windows, QSWindow{
 			Iteration: win.Iteration,
@@ -362,7 +455,7 @@ func (s *Service) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, errors.New("no candidate configurations"))
 		return
 	}
-	spec := c.Session.Spec()
+	spec := c.Session().Spec()
 	capacity := req.Capacity
 	if capacity == 0 {
 		capacity = spec.Capacity
@@ -383,7 +476,7 @@ func (s *Service) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		writeServiceError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, WhatIfResponse{Objectives: c.Session.Objectives(), Results: rows})
+	writeJSON(w, http.StatusOK, WhatIfResponse{Objectives: c.Session().Objectives(), Results: rows})
 }
 
 func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -392,7 +485,7 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeServiceError(w, err)
 		return
 	}
-	b, err := c.Session.Report().MarshalCanonical()
+	b, err := c.Session().Report().MarshalCanonical()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, CodeInternal, err)
 		return
@@ -401,6 +494,9 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 	w.Write(b) //nolint:errcheck // the connection is gone; nothing to do
 }
 
+// handleHealthz is liveness only: it answers 200 for as long as the
+// process can serve at all, including the Close drain window. Routing
+// decisions belong to readyz.
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	clusters := len(s.clusters)
@@ -411,6 +507,22 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"shards":         len(s.shards),
 		"uptime_seconds": time.Since(s.start).Seconds(),
 	})
+}
+
+// handleReadyz is the routing signal: 200 while the service is
+// admitting work, 503 once Close begins draining (and, behind a Gate,
+// during startup WAL recovery). Liveness stays green either way.
+func (s *Service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.Ready() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable,
+			errors.New("draining: shutting down"))
+		return
+	}
+	s.mu.RLock()
+	clusters := len(s.clusters)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true, "clusters": clusters})
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -18,8 +18,15 @@ type Metrics struct {
 	// stats across all clusters: candidates fully scored through the
 	// what-if simulator vs. discarded by the QS lower bound before
 	// simulation. pruned/(scored+pruned) is the live pruning rate.
-	ScoredCandidates int64          `json:"scored_candidates"`
-	PrunedCandidates int64          `json:"pruned_candidates"`
+	ScoredCandidates int64 `json:"scored_candidates"`
+	PrunedCandidates int64 `json:"pruned_candidates"`
+	// DegradedClusters is the read-only-cluster gauge: clusters whose
+	// durable store is failing, serving reads from the last committed
+	// state while the recovery probe retries. ShedRequests totals
+	// requests refused without execution (admission-deadline sheds plus
+	// chaos-injected handler errors).
+	DegradedClusters int64          `json:"degraded_clusters"`
+	ShedRequests     int64          `json:"shed_requests"`
 	Shards           []ShardMetrics `json:"shards"`
 }
 
@@ -36,6 +43,7 @@ type ShardMetrics struct {
 	WhatIfEvals      int64   `json:"whatif_evals"`
 	ScoredCandidates int64   `json:"scored_candidates"`
 	PrunedCandidates int64   `json:"pruned_candidates"`
+	ShedRequests     int64   `json:"shed_requests"`
 	TickLatencyP50Ms float64 `json:"tick_latency_p50_ms"`
 	TickLatencyP99Ms float64 `json:"tick_latency_p99_ms"`
 	// Decision latency is the controller's propose→apply span within a
@@ -50,11 +58,13 @@ type ShardMetrics struct {
 // each individual counter is still exact.
 func (s *Service) Metrics() Metrics {
 	m := Metrics{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		QSQueries:     s.qsQueries.get(),
-		WhatIfEvals:   s.whatifEvals.get(),
-		AdHocQueries:  s.queryOneShot.get(),
-		ActiveStreams: s.streams.get(),
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		QSQueries:        s.qsQueries.get(),
+		WhatIfEvals:      s.whatifEvals.get(),
+		AdHocQueries:     s.queryOneShot.get(),
+		ActiveStreams:    s.streams.get(),
+		DegradedClusters: s.degradedGauge.get(),
+		ShedRequests:     s.shedRequests.get(),
 	}
 	perShard := make([]int, len(s.shards))
 	s.mu.RLock()
@@ -73,6 +83,7 @@ func (s *Service) Metrics() Metrics {
 			WhatIfEvals:      sh.whatifEvals.get(),
 			ScoredCandidates: sh.scored.get(),
 			PrunedCandidates: sh.pruned.get(),
+			ShedRequests:     sh.shed.get(),
 		}
 		if p50, p99, ok := sh.lat.quantiles(); ok {
 			sm.TickLatencyP50Ms = float64(p50) / float64(time.Millisecond)

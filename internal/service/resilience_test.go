@@ -1,0 +1,627 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tempo"
+	"tempo/internal/chaos"
+	"tempo/internal/scenario"
+	"tempo/internal/service"
+)
+
+// mustChaos builds an injector and fails the test on a bad spec.
+func mustChaos(t *testing.T, seed int64, spec chaos.Spec) *chaos.Injector {
+	t.Helper()
+	inj, err := chaos.New(seed, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj
+}
+
+// sequentialReport runs the spec uninterrupted in process and returns its
+// canonical report bytes — the golden every resilience test compares
+// service output against.
+func sequentialReport(t *testing.T, spec *scenario.Spec) []byte {
+	t.Helper()
+	ref, err := scenario.Run(spec, scenario.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestOverloadShedsWithRetryAfter saturates a one-worker, one-slot
+// service with slow ticks and requires the API to shed the overflow as
+// 503 {error, code: overloaded} with an integer Retry-After hint — then
+// proves the sheds were free: retrying the shed ticks to completion
+// yields a report byte-identical to the sequential run.
+func TestOverloadShedsWithRetryAfter(t *testing.T) {
+	spec := smallSpec(t, 6)
+	want := sequentialReport(t, spec)
+
+	svc, ts := newTestServer(t, service.Config{
+		Shards:           1,
+		WorkersPerShard:  1,
+		QueueDepth:       1,
+		AdmissionTimeout: 30 * time.Millisecond,
+		Chaos: mustChaos(t, 1, chaos.Spec{
+			TickLatency: 1.0, TickLatencyMs: 150,
+			// Handler-level shedding off: this test isolates queue overload.
+		}),
+	})
+	createCluster(t, ts.URL, "c1", spec)
+
+	// First wave: more concurrent ticks than worker+queue can hold. The
+	// overflow must come back 503 overloaded, not block and not execute.
+	const wave = 8
+	type outcome struct {
+		code       int
+		body       []byte
+		retryAfter string
+	}
+	results := make([]outcome, wave)
+	var wg sync.WaitGroup
+	for i := 0; i < wave; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/clusters/c1/tick", "application/json", nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body) //nolint:errcheck
+			results[i] = outcome{resp.StatusCode, buf.Bytes(), resp.Header.Get("Retry-After")}
+		}(i)
+	}
+	wg.Wait()
+
+	succeeded, shed := 0, 0
+	for _, r := range results {
+		switch r.code {
+		case http.StatusOK:
+			succeeded++
+		case http.StatusServiceUnavailable:
+			shed++
+			var env service.ErrorEnvelope
+			if err := json.Unmarshal(r.body, &env); err != nil {
+				t.Fatalf("shed response is not the error envelope: %s", r.body)
+			}
+			if env.Code != service.CodeOverloaded {
+				t.Fatalf("shed response code = %q, want %q (%s)", env.Code, service.CodeOverloaded, r.body)
+			}
+			secs, err := strconv.Atoi(r.retryAfter)
+			if err != nil || secs < 1 {
+				t.Fatalf("shed response Retry-After = %q, want integer seconds >= 1", r.retryAfter)
+			}
+		default:
+			t.Fatalf("tick returned %d: %s", r.code, r.body)
+		}
+	}
+	if shed == 0 {
+		t.Fatal("no request was shed: overload never triggered")
+	}
+	if succeeded == 0 {
+		t.Fatal("every request was shed: admission never succeeded")
+	}
+
+	// Retry phase: a shed is a promise the tick never ran, so driving the
+	// remaining budget must land exactly on the sequential trajectory.
+	c, err := svc.Get("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !c.Session().Done() {
+		if _, _, err := svc.Tick(context.Background(), c); err != nil && !errors.Is(err, service.ErrOverloaded) {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.Session().Report().MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("report after shed+retry differs from sequential run — a shed tick executed")
+	}
+	if m := svc.Metrics(); m.ShedRequests == 0 {
+		t.Fatal("metrics shed_requests = 0 after observed sheds")
+	}
+}
+
+// TestAdmissionHonorsRequestDeadline: a caller whose context expires
+// while its tick is stuck in admission gets ErrOverloaded promptly — the
+// wait is bounded by the earlier of the request deadline and
+// AdmissionTimeout, not by queue drain.
+func TestAdmissionHonorsRequestDeadline(t *testing.T) {
+	svc, ts := newTestServer(t, service.Config{
+		Shards:           1,
+		WorkersPerShard:  1,
+		QueueDepth:       1,
+		AdmissionTimeout: 10 * time.Second, // deliberately long: the ctx must win
+		Chaos:            mustChaos(t, 1, chaos.Spec{TickLatency: 1.0, TickLatencyMs: 300}),
+	})
+	spec := smallSpec(t, 50)
+	createCluster(t, ts.URL, "c1", spec)
+	c, err := svc.Get("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the worker and the queue slot with slow ticks.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			svc.Tick(context.Background(), c) //nolint:errcheck
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // let both occupy worker + queue
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err = svc.Tick(ctx, c)
+	elapsed := time.Since(start)
+	if !errors.Is(err, service.ErrOverloaded) {
+		t.Fatalf("deadline-expired admission returned %v, want ErrOverloaded", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("shed took %v, want prompt rejection at the ~20ms deadline", elapsed)
+	}
+	wg.Wait()
+}
+
+// TestShedsNeverCorruptSerialization is the -race hammer: many goroutines
+// slam one cluster through a tiny admission window, so a large fraction
+// of ticks shed. Exactly Iterations ticks may succeed, and the final
+// report must match the sequential run — sheds never half-execute.
+func TestShedsNeverCorruptSerialization(t *testing.T) {
+	spec := smallSpec(t, 30)
+	want := sequentialReport(t, spec)
+
+	svc, ts := newTestServer(t, service.Config{
+		Shards:           1,
+		WorkersPerShard:  1,
+		QueueDepth:       1,
+		AdmissionTimeout: 2 * time.Millisecond,
+		Chaos:            mustChaos(t, 3, chaos.Spec{TickLatency: 0.5, TickLatencyMs: 5}),
+	})
+	createCluster(t, ts.URL, "c1", spec)
+	c, err := svc.Get("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var successes, sheds atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for successes.Load() < int64(spec.Iterations) {
+				_, _, err := svc.Tick(context.Background(), c)
+				switch {
+				case err == nil:
+					successes.Add(1)
+				case errors.Is(err, service.ErrOverloaded):
+					sheds.Add(1)
+				case errors.Is(err, tempo.ErrSessionDone):
+					return // raced past the budget; fine
+				default:
+					t.Errorf("tick: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if got := successes.Load(); got != int64(spec.Iterations) {
+		t.Fatalf("%d ticks succeeded, want exactly %d", got, spec.Iterations)
+	}
+	if sheds.Load() == 0 {
+		t.Fatal("no sheds under a 2ms admission window — hammer never contended")
+	}
+	got, err := c.Session().Report().MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("hammered report differs from sequential run")
+	}
+}
+
+// TestDegradedMode walks the full degraded-cluster lifecycle: a WAL
+// fault flips the cluster read-only (writes 503 degraded, reads keep
+// serving the last committed state), the recovery probe re-arms it, and
+// the finished run is byte-identical to a fault-free sequential run.
+func TestDegradedMode(t *testing.T) {
+	spec := smallSpec(t, 6)
+	want := sequentialReport(t, spec)
+
+	dir := t.TempDir()
+	svc, ts := newTestServer(t, service.Config{
+		Store:                 openStore(t, dir),
+		SnapshotEvery:         2,
+		RecoveryProbeInterval: time.Hour, // probe manually; no background races
+	})
+	createCluster(t, ts.URL, "c1", spec)
+	c, err := svc.Get("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := svc.Tick(context.Background(), c); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Break the WAL: the next append fails mid-write.
+	if err := svc.InjectWALFault("c1"); err != nil {
+		t.Fatal(err)
+	}
+	code, body := do(t, "POST", ts.URL+"/v1/clusters/c1/tick", "")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("tick on faulted WAL = %d, want 503: %s", code, body)
+	}
+	var env service.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Code != service.CodeDegraded {
+		t.Fatalf("degraded tick envelope = %s, want code %q", body, service.CodeDegraded)
+	}
+	if !c.Degraded() {
+		t.Fatal("cluster not marked degraded after WAL append failure")
+	}
+	// The in-memory session must have rolled back to the committed
+	// prefix — a tick the store never logged must not be visible.
+	if got := c.Session().Ticks(); got != 2 {
+		t.Fatalf("degraded session at tick %d, want rollback to committed tick 2", got)
+	}
+
+	// Reads keep serving last committed state.
+	if code, body := do(t, "GET", ts.URL+"/v1/clusters/c1/qs", ""); code != http.StatusOK {
+		t.Fatalf("qs on degraded cluster = %d, want 200: %s", code, body)
+	}
+	if code, body := do(t, "GET", ts.URL+"/v1/clusters/c1/report", ""); code != http.StatusOK {
+		t.Fatalf("report on degraded cluster = %d, want 200: %s", code, body)
+	}
+
+	// A second write is refused at the door — degraded clusters never
+	// reach the worker, so the broken store is not hammered.
+	if code, _ := do(t, "POST", ts.URL+"/v1/clusters/c1/tick", ""); code != http.StatusServiceUnavailable {
+		t.Fatalf("second tick on degraded cluster = %d, want 503", code)
+	}
+	if m := svc.Metrics(); m.DegradedClusters != 1 {
+		t.Fatalf("metrics degraded_clusters = %d, want 1", m.DegradedClusters)
+	}
+
+	// Recovery: the probe reopens the WAL (clearing the injected fault),
+	// resumes from disk, and re-arms the cluster.
+	if n := svc.ProbeRecovery(); n != 1 {
+		t.Fatalf("ProbeRecovery recovered %d clusters, want 1", n)
+	}
+	if c.Degraded() {
+		t.Fatal("cluster still degraded after successful probe")
+	}
+	if m := svc.Metrics(); m.DegradedClusters != 0 {
+		t.Fatalf("metrics degraded_clusters = %d after recovery, want 0", m.DegradedClusters)
+	}
+	c, err = svc.Get("c1") // rearm swaps the session; re-fetch
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !c.Session().Done() {
+		if _, _, err := svc.Tick(context.Background(), c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.Session().Report().MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("recovered cluster's report differs from fault-free sequential run")
+	}
+}
+
+// chaosDrive runs one full load-generation pass against a durable,
+// chaos-injected service and returns the drive report plus the
+// injector's decision counts. The drive itself asserts byte-identical
+// reports (Verify), so a nil error means every surviving cluster matched
+// its fault-free sequential golden.
+func chaosDrive(t *testing.T, seed int64, clusters int) (*service.DriveReport, chaos.Counts) {
+	t.Helper()
+	inj := mustChaos(t, seed, chaos.Spec{
+		TickLatency: 0.2, TickLatencyMs: 5,
+		WALFault:     0.25,
+		HandlerError: 0.05,
+		FsyncStall:   0.1, FsyncStallMs: 2,
+	})
+	_, ts := newTestServer(t, service.Config{
+		Store:                 openStore(t, t.TempDir()),
+		SnapshotEvery:         2,
+		RecoveryProbeInterval: 25 * time.Millisecond,
+		Chaos:                 inj,
+	})
+	rep, err := service.Drive(ts.URL, service.DriveOptions{
+		Clusters:  clusters,
+		Workers:   8,
+		Verify:    true,
+		Retries:   12,
+		RetryBase: 5 * time.Millisecond,
+		RetryMax:  100 * time.Millisecond,
+		RetrySeed: seed,
+	})
+	if err != nil {
+		t.Fatalf("drive under chaos (seed %d): %v", seed, err)
+	}
+	if rep.Verified != clusters {
+		t.Fatalf("seed %d: %d/%d clusters verified byte-identical", seed, rep.Verified, clusters)
+	}
+	return rep, inj.Counts()
+}
+
+// TestChaosDeterministicOutcome is the acceptance gate for the chaos
+// subsystem: under a fixed seed injecting WAL faults, tick latency, and
+// handler errors, every cluster's report is byte-identical to its
+// fault-free sequential golden (asserted inside the drive), every failed
+// request carried the {error, code} envelope (the driver only retries
+// envelope refusals — a bare failure would surface as a drive error),
+// and no shard worker deadlocks (the drive completes). Run twice, the
+// per-cluster fault schedule is identical: tick-stream decisions are
+// pure functions of (seed, cluster, tick sequence), untouched by timing.
+func TestChaosDeterministicOutcome(t *testing.T) {
+	const seed = 42
+	rep1, counts1 := chaosDrive(t, seed, 4)
+	rep2, counts2 := chaosDrive(t, seed, 4)
+
+	if counts1.TickDelays != counts2.TickDelays || counts1.WALFaults != counts2.WALFaults {
+		t.Fatalf("per-cluster fault schedule not deterministic across runs: %+v vs %+v", counts1, counts2)
+	}
+	if counts1.WALFaults == 0 {
+		t.Fatalf("seed %d injected no WAL faults — pick a seed that exercises degraded mode (counts %+v)", seed, counts1)
+	}
+	if counts1.TickDelays == 0 {
+		t.Fatalf("seed %d injected no tick latency (counts %+v)", seed, counts1)
+	}
+	if rep1.Retries == 0 || rep2.Retries == 0 {
+		t.Fatalf("drives absorbed no sheds (retries %d, %d) — chaos never bit", rep1.Retries, rep2.Retries)
+	}
+}
+
+// TestChaosSweepRandomSeed is the nightly sweep body: one full chaos
+// drive at a fresh random seed. Locally it runs once; nightly CI runs it
+// -count=20 under -race, so twenty independent schedules must all either
+// serve correct bytes or shed cleanly. The seed is logged for replay.
+func TestChaosSweepRandomSeed(t *testing.T) {
+	seed := rand.Int63()
+	t.Logf("chaos sweep seed %d (replay: chaos.New(%d, spec))", seed, seed)
+	rep, counts := chaosDrive(t, seed, 3)
+	t.Logf("seed %d: %d ticks, %d retries, counts %+v", seed, rep.Ticks, rep.Retries, counts)
+}
+
+// TestDriveRetriesThroughInjected503s is the client-resilience
+// acceptance: with ~10%% of requests shed at the door by chaos, a drive
+// with retries enabled still converges and reproduces
+// sequential-vs-sharded bit-equality on every cluster.
+func TestDriveRetriesThroughInjected503s(t *testing.T) {
+	_, ts := newTestServer(t, service.Config{
+		Chaos: mustChaos(t, 7, chaos.Spec{HandlerError: 0.10}),
+	})
+	rep, err := service.Drive(ts.URL, service.DriveOptions{
+		Clusters:  8,
+		Workers:   8,
+		Verify:    true,
+		Retries:   8,
+		RetryBase: 5 * time.Millisecond,
+		RetryMax:  50 * time.Millisecond,
+		RetrySeed: 7,
+	})
+	if err != nil {
+		t.Fatalf("drive under 10%% injected 503s: %v", err)
+	}
+	if rep.Verified != rep.Clusters {
+		t.Fatalf("%d/%d clusters verified under injected 503s", rep.Verified, rep.Clusters)
+	}
+	if rep.Retries == 0 {
+		t.Fatal("drive recorded zero retries under 10% handler sheds")
+	}
+}
+
+// TestReadyz covers the readiness endpoint's three windows: starting
+// (gate not yet armed), serving, and draining — liveness stays 200
+// throughout, readiness flips 503 at both edges.
+func TestReadyz(t *testing.T) {
+	t.Run("starting", func(t *testing.T) {
+		gate := service.NewGate()
+		srv := startGateServer(t, gate)
+		code, body := do(t, "GET", srv+"/v1/readyz", "")
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("readyz before gate armed = %d, want 503: %s", code, body)
+		}
+		var env service.ErrorEnvelope
+		if err := json.Unmarshal(body, &env); err != nil || env.Code != service.CodeUnavailable {
+			t.Fatalf("starting readyz envelope = %s, want code %q", body, service.CodeUnavailable)
+		}
+		if code, body := do(t, "GET", srv+"/v1/healthz", ""); code != http.StatusOK {
+			t.Fatalf("healthz while starting = %d, want 200 (liveness is not readiness): %s", code, body)
+		}
+
+		// Arm the gate: the real handler takes over every path.
+		svc, err := service.New(service.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(svc.Close)
+		gate.Set(svc.Handler())
+		code, body = do(t, "GET", srv+"/v1/readyz", "")
+		if code != http.StatusOK {
+			t.Fatalf("readyz after gate armed = %d, want 200: %s", code, body)
+		}
+		var ready struct {
+			Ready bool `json:"ready"`
+		}
+		if err := json.Unmarshal(body, &ready); err != nil || !ready.Ready {
+			t.Fatalf("armed readyz body = %s, want {\"ready\": true}", body)
+		}
+	})
+
+	t.Run("draining", func(t *testing.T) {
+		svc, ts := newTestServer(t, service.Config{
+			Chaos: mustChaos(t, 1, chaos.Spec{TickLatency: 1.0, TickLatencyMs: 300}),
+		})
+		spec := smallSpec(t, 10)
+		createCluster(t, ts.URL, "c1", spec)
+		c, err := svc.Get("c1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Put a slow tick in flight so Close has a drain window to observe.
+		go svc.Tick(context.Background(), c) //nolint:errcheck
+		time.Sleep(50 * time.Millisecond)
+
+		closeDone := make(chan struct{})
+		go func() {
+			svc.Close()
+			close(closeDone)
+		}()
+		sawDraining := false
+		for !sawDraining {
+			select {
+			case <-closeDone:
+				t.Fatal("Close finished before readyz ever reported draining")
+			default:
+			}
+			if code, _ := do(t, "GET", ts.URL+"/v1/readyz", ""); code == http.StatusServiceUnavailable {
+				sawDraining = true
+			}
+		}
+		if code, _ := do(t, "GET", ts.URL+"/v1/healthz", ""); code != http.StatusOK {
+			t.Fatal("healthz flipped during drain; liveness must hold")
+		}
+		<-closeDone
+	})
+}
+
+// startGateServer serves a Gate on a real listener and returns its base
+// URL.
+func startGateServer(t *testing.T, gate *service.Gate) string {
+	t.Helper()
+	ts := httptest.NewServer(gate)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestStreamDrainTerminalEvent: a standing SSE subscription caught by
+// service shutdown ends with an explicit terminal error event (code
+// "unavailable"), not a silent hang — the companion to the existing
+// cluster-delete terminal case.
+func TestStreamDrainTerminalEvent(t *testing.T) {
+	svc, ts := newTestServer(t, service.Config{StreamHeartbeat: 50 * time.Millisecond})
+	spec := smallSpec(t, 10)
+	createCluster(t, ts.URL, "c1", spec)
+
+	plan := `{"version":1,"source":"jobs","ops":[{"op":"group_by","by":["tenant"]},{"op":"aggregate","aggs":[{"fn":"count","as":"jobs"}]}]}`
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, err := openStream(t, ctx, ts.URL, "c1", plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream subscribe = %d", resp.StatusCode)
+	}
+
+	done := make(chan []sseEvent, 1)
+	go func() { done <- readSSE(t, resp) }()
+	time.Sleep(50 * time.Millisecond) // let the subscription park in its select
+	svc.Close()
+
+	select {
+	case events := <-done:
+		if len(events) == 0 {
+			t.Fatal("stream closed with no terminal event")
+		}
+		last := events[len(events)-1]
+		if last.name != "error" {
+			t.Fatalf("terminal event = %q, want error", last.name)
+		}
+		var env service.ErrorEnvelope
+		if err := json.Unmarshal([]byte(last.data), &env); err != nil {
+			t.Fatalf("terminal error data %q is not the envelope", last.data)
+		}
+		if env.Code != service.CodeUnavailable {
+			t.Fatalf("terminal error code = %q, want %q", env.Code, service.CodeUnavailable)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not terminate after Close — drain never reached it")
+	}
+}
+
+// TestDeleteShedKeepsCluster: a Delete shed at admission must not lose
+// the cluster — the id stays registered and a later delete succeeds.
+func TestDeleteShedKeepsCluster(t *testing.T) {
+	svc, ts := newTestServer(t, service.Config{
+		Shards:           1,
+		WorkersPerShard:  1,
+		QueueDepth:       1,
+		AdmissionTimeout: 5 * time.Millisecond,
+		Chaos:            mustChaos(t, 1, chaos.Spec{TickLatency: 1.0, TickLatencyMs: 200}),
+	})
+	spec := smallSpec(t, 20)
+	createCluster(t, ts.URL, "doomed", spec)
+	c, err := svc.Get("doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Saturate worker + queue, then try to delete through the full queue.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			svc.Tick(context.Background(), c) //nolint:errcheck
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	err = svc.Delete(context.Background(), "doomed")
+	wg.Wait()
+	if err == nil {
+		// The teardown squeezed in; nothing left to assert.
+		return
+	}
+	if !errors.Is(err, service.ErrOverloaded) {
+		t.Fatalf("contended delete returned %v, want ErrOverloaded", err)
+	}
+	if _, err := svc.Get("doomed"); err != nil {
+		t.Fatalf("cluster vanished after a shed delete: %v", err)
+	}
+	// Unloaded now: the delete must go through.
+	if err := svc.Delete(context.Background(), "doomed"); err != nil {
+		t.Fatalf("retried delete: %v", err)
+	}
+	if _, err := svc.Get("doomed"); !errors.Is(err, service.ErrNotFound) {
+		t.Fatalf("cluster survived successful delete: %v", err)
+	}
+}

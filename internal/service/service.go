@@ -31,14 +31,17 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tempo"
+	"tempo/internal/chaos"
 	"tempo/internal/store"
 )
 
@@ -85,6 +88,23 @@ type Config struct {
 	// (an SSE comment, so proxies don't reap quiet connections); 0 means
 	// 15s.
 	StreamHeartbeat time.Duration
+	// AdmissionTimeout bounds how long a tick or delete may wait on a
+	// full shard queue before being shed with ErrOverloaded (503
+	// "overloaded" over HTTP, with a Retry-After hint derived from the
+	// shard's p99 tick latency); 0 means 1s. A caller context with an
+	// earlier deadline shortens the wait further. Shed requests touch no
+	// state, so retrying them is always safe.
+	AdmissionTimeout time.Duration
+	// RecoveryProbeInterval is how often the background probe tries to
+	// re-arm degraded clusters (reopen the broken WAL, resume the
+	// session from the committed prefix); 0 means 2s. Ignored without
+	// Store.
+	RecoveryProbeInterval time.Duration
+	// Chaos, when non-nil, injects the deterministic fault schedule
+	// (internal/chaos): pre-tick latency, torn WAL appends, and API
+	// requests shed at the door. Wired by tempod's -chaos-seed /
+	// -chaos-spec flags and the chaos test harness.
+	Chaos *chaos.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +135,12 @@ func (c Config) withDefaults() Config {
 	if c.StreamHeartbeat <= 0 {
 		c.StreamHeartbeat = 15 * time.Second
 	}
+	if c.AdmissionTimeout <= 0 {
+		c.AdmissionTimeout = time.Second
+	}
+	if c.RecoveryProbeInterval <= 0 {
+		c.RecoveryProbeInterval = 2 * time.Second
+	}
 	return c
 }
 
@@ -127,6 +153,17 @@ var ErrNotFound = errors.New("service: unknown cluster")
 // ErrExists is returned when creating a cluster under a taken id.
 var ErrExists = errors.New("service: cluster id already exists")
 
+// ErrOverloaded is returned when a shard's queue stays full past the
+// admission deadline: the request was shed before touching any state,
+// so retrying after backoff is always safe.
+var ErrOverloaded = errors.New("service: overloaded")
+
+// ErrDegraded is returned for writes to a cluster whose durable store
+// is failing. The cluster keeps serving reads from its last committed
+// state; the recovery probe re-arms it once the store heals. A degraded
+// write never mutates state, so retrying after backoff is safe.
+var ErrDegraded = errors.New("service: cluster degraded")
+
 // Service hosts many tenant clusters across a fixed set of shards.
 type Service struct {
 	cfg    Config
@@ -138,20 +175,38 @@ type Service struct {
 	clusters map[string]*Cluster
 	closed   bool
 
+	// draining latches at the top of Close, before the drain wait: the
+	// readiness signal flips false while in-flight work is still
+	// finishing, so load balancers stop routing here first.
+	draining atomic.Bool
+	// probeWG tracks the degraded-cluster recovery probe goroutine.
+	probeWG sync.WaitGroup
+
 	qsQueries    counter
 	whatifEvals  counter
 	queryOneShot counter
 	// streams is the live subscription gauge; handleQueryStream increments
 	// it under the MaxStreams cap and decrements on disconnect.
 	streams counter
+	// shedRequests totals requests refused without execution: admission
+	// deadline sheds plus chaos-injected handler errors.
+	shedRequests counter
+	// degradedGauge counts clusters currently in degraded mode.
+	degradedGauge counter
 }
 
 // Cluster is one hosted tenant cluster: a Session pinned to a shard.
 type Cluster struct {
 	ID      string
 	Shard   int
-	Session *tempo.Session
 	Created time.Time
+
+	// session is the cluster's live control loop. It is swapped (never
+	// mutated in place) when degraded mode rolls the trajectory back to
+	// the committed prefix and when recovery resumes from disk, so every
+	// reader goes through the atomic pointer — reads stay lock-free and
+	// never queue behind an executing tick.
+	session atomic.Pointer[tempo.Session]
 
 	// mu serializes the tick+WAL-append pair against deletion: a worker
 	// holds it for the whole commit, so Delete can never tear down the
@@ -162,12 +217,28 @@ type Cluster struct {
 	// deleted latches once the cluster is torn down; ticks queued behind
 	// the deletion observe it and fail with ErrNotFound.
 	deleted bool
+	// degraded latches when a tick fails durably (WAL append or snapshot
+	// error): the session is rolled back to the last committed tick,
+	// reads keep serving that state, writes fail with ErrDegraded, and
+	// the recovery probe clears the flag once the store heals. The flag
+	// is atomic so the write fast-path can check it WITHOUT c.mu — a
+	// worker holds c.mu for a tick's whole execution, and admission must
+	// never wait behind execution. Transitions still happen under c.mu;
+	// degradedCause is read only after observing the flag true, when no
+	// tick can be executing.
+	degraded      atomic.Bool
+	degradedCause error
 	// tickc is the change-notification channel standing query streams
 	// wait on: closed and replaced under mu whenever a tick commits or
 	// the cluster is deleted, so every waiter wakes exactly once per
 	// change and re-reads the session.
 	tickc chan struct{}
 }
+
+// Session returns the cluster's live session. Readers see either the
+// pre-swap or post-swap session, both internally consistent; state read
+// across a swap is simply the state of one committed trajectory.
+func (c *Cluster) Session() *tempo.Session { return c.session.Load() }
 
 // changed returns a channel that closes on the cluster's next committed
 // tick (or its deletion). Call it before reading Session.Ticks so a
@@ -183,6 +254,27 @@ func (c *Cluster) isDeleted() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.deleted
+}
+
+// Degraded reports whether the cluster is in degraded mode (reads only,
+// durable store failing). Lock-free: callers on the write fast-path must
+// not queue behind an executing tick.
+func (c *Cluster) Degraded() bool { return c.degraded.Load() }
+
+// degradedError returns the ErrDegraded-wrapped cause while the cluster
+// is degraded, or nil. The flag is checked without c.mu (see the field
+// comment); the cause is fetched under c.mu only once the flag was seen
+// true, when the cluster executes nothing.
+func (c *Cluster) degradedError() error {
+	if !c.degraded.Load() {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.degraded.Load() { // re-armed between the check and the lock
+		return nil
+	}
+	return fmt.Errorf("%w: %s: %v", ErrDegraded, c.ID, c.degradedCause)
 }
 
 // notifyLocked wakes every changed() waiter. Callers hold c.mu.
@@ -215,6 +307,8 @@ func New(cfg Config) (*Service, error) {
 			}
 			s.clusters[id] = c
 		}
+		s.probeWG.Add(1)
+		go s.recoveryProbeLoop()
 	}
 	return s, nil
 }
@@ -227,6 +321,26 @@ func (s *Service) recoverCluster(id string) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	sess, err := s.resumeFromStore(cs)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		ID:      id,
+		Shard:   s.shardFor(id),
+		Created: time.Now(),
+		store:   cs,
+		tickc:   make(chan struct{}),
+	}
+	c.session.Store(sess)
+	return c, nil
+}
+
+// resumeFromStore rebuilds a session from a cluster's durable state. A
+// snapshot that cannot be applied (stale, reaching past the surviving
+// WAL) falls back to a full WAL re-drive; the WAL itself is
+// authoritative.
+func (s *Service) resumeFromStore(cs *store.ClusterStore) (*tempo.Session, error) {
 	schedules, err := cs.Schedules()
 	if err != nil {
 		return nil, err
@@ -240,17 +354,7 @@ func (s *Service) recoverCluster(id string) (*Cluster, error) {
 	if err != nil && snap != nil {
 		sess, err = tempo.ResumeSession(cs.Spec(), opts, nil, schedules)
 	}
-	if err != nil {
-		return nil, err
-	}
-	return &Cluster{
-		ID:      id,
-		Shard:   s.shardFor(id),
-		Session: sess,
-		Created: time.Now(),
-		store:   cs,
-		tickc:   make(chan struct{}),
-	}, nil
+	return sess, err
 }
 
 // Close stops accepting work, drains queued and in-flight ticks (bounded
@@ -265,6 +369,10 @@ func (s *Service) Close() {
 		return
 	}
 	s.closed = true
+	// Flip readiness before the drain: /v1/readyz answers false for the
+	// whole drain window, so routing peels away while in-flight ticks
+	// still finish cleanly.
+	s.draining.Store(true)
 	s.mu.Unlock()
 	deadline := time.Now().Add(s.cfg.DrainTimeout)
 	for time.Now().Before(deadline) {
@@ -284,10 +392,17 @@ func (s *Service) Close() {
 	for _, sh := range s.shards {
 		sh.wait()
 	}
+	s.probeWG.Wait()
 	if s.cfg.Store != nil {
 		s.cfg.Store.Close()
 	}
 }
+
+// Ready reports whether the service should receive traffic: true from
+// the moment New returns (recovery complete) until Close begins
+// draining. Liveness (healthz) stays true throughout — a draining
+// process is alive, just not admitting.
+func (s *Service) Ready() bool { return !s.draining.Load() }
 
 // shardFor pins a cluster id to a shard: FNV-1a over the id, mod shards.
 // The pin is a pure function of the id, so a cluster keeps its shard (and
@@ -322,7 +437,8 @@ func (s *Service) Create(id string, spec *tempo.Scenario) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{ID: id, Shard: s.shardFor(id), Session: sess, Created: time.Now(), tickc: make(chan struct{})}
+	c := &Cluster{ID: id, Shard: s.shardFor(id), Created: time.Now(), tickc: make(chan struct{})}
+	c.session.Store(sess)
 	if s.cfg.Store != nil {
 		// The store is the arbiter between racing Creates on one id: the
 		// loser sees store.ErrExists before touching the registry.
@@ -365,8 +481,11 @@ func (s *Service) Get(id string) (*Cluster, error) {
 // on-disk state. The teardown is routed through the cluster's shard queue
 // and serialized against ticks by the cluster mutex, so an in-flight tick
 // either commits fully before the teardown or observes the deletion and
-// fails with ErrNotFound — it can never append to removed state.
-func (s *Service) Delete(id string) error {
+// fails with ErrNotFound — it can never append to removed state. Delete
+// works on degraded clusters (teardown is how a hopelessly broken store
+// is cleared). The context bounds admission only; an admitted teardown
+// always completes.
+func (s *Service) Delete(ctx context.Context, id string) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -382,25 +501,51 @@ func (s *Service) Delete(id string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
-	return s.shards[c.Shard].remove(c)
+	err := s.shards[c.Shard].remove(ctx, c)
+	if errors.Is(err, ErrOverloaded) {
+		// The teardown was shed before running; put the cluster back so a
+		// retry (or any other request) still resolves the id.
+		s.mu.Lock()
+		if _, taken := s.clusters[id]; !taken && !s.closed {
+			s.clusters[id] = c
+		}
+		s.mu.Unlock()
+	}
+	return err
 }
 
 // execTick runs one committed tick on a shard worker: advance the session
 // and, with durability on, log the observed schedule (and a periodic
 // snapshot) before acking. The cluster mutex makes the whole commit
-// atomic with respect to Delete.
+// atomic with respect to Delete. A WAL append failure degrades the
+// cluster instead of poisoning the shard: the session rolls back to the
+// last committed tick, the tick's error reports ErrDegraded (no state
+// change — safe to retry after recovery), and reads keep serving.
 func (s *Service) execTick(c *Cluster) (tempo.ScenarioIteration, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.deleted {
 		return tempo.ScenarioIteration{}, fmt.Errorf("%w: %s", ErrNotFound, c.ID)
 	}
-	it, err := c.Session.Tick()
+	if c.degraded.Load() {
+		return tempo.ScenarioIteration{}, fmt.Errorf("%w: %s: %v", ErrDegraded, c.ID, c.degradedCause)
+	}
+	if delay, tearWAL, tearAt := s.cfg.Chaos.TickFaults(c.ID); delay > 0 || tearWAL {
+		if delay > 0 {
+			// Injected chaos latency stalls the worker only; tick output is
+			// untouched.
+			time.Sleep(delay)
+		}
+		if tearWAL && c.store != nil {
+			c.store.InjectFault(c.store.WALSize() + tearAt)
+		}
+	}
+	it, err := c.Session().Tick()
 	if err != nil {
 		return it, err
 	}
 	defer c.notifyLocked() // wake query streams once the commit is durable
-	if st := c.Session.Search(it.Index); st != nil {
+	if st := c.Session().Search(it.Index); st != nil {
 		sh := s.shards[c.Shard]
 		sh.scored.add(int64(st.FullyScored))
 		sh.pruned.add(int64(st.Pruned))
@@ -409,20 +554,137 @@ func (s *Service) execTick(c *Cluster) (tempo.ScenarioIteration, error) {
 		}
 	}
 	if c.store != nil {
-		if err := c.store.AppendTick(it.Index, c.Session.ObservedSchedule(it.Index)); err != nil {
-			return it, fmt.Errorf("service: logging tick %d of %s: %w", it.Index, c.ID, err)
+		if err := c.store.AppendTick(it.Index, c.Session().ObservedSchedule(it.Index)); err != nil {
+			// The tick is NOT committed: degrade and roll back, so the error
+			// the caller sees is an honest "nothing happened".
+			s.degradeLocked(c, fmt.Errorf("logging tick %d: %w", it.Index, err))
+			return tempo.ScenarioIteration{}, fmt.Errorf("%w: %s: tick %d not committed: %v", ErrDegraded, c.ID, it.Index, err)
 		}
 		if (it.Index+1)%s.cfg.SnapshotEvery == 0 {
-			snap, err := c.Session.Snapshot()
-			if err != nil {
-				return it, fmt.Errorf("service: snapshotting %s: %w", c.ID, err)
+			snap, serr := c.Session().Snapshot()
+			if serr == nil {
+				serr = c.store.WriteSnapshot(snap)
 			}
-			if err := c.store.WriteSnapshot(snap); err != nil {
-				return it, fmt.Errorf("service: snapshotting %s: %w", c.ID, err)
+			if serr != nil {
+				// The WAL append above succeeded, so the tick IS durably
+				// committed — only the periodic snapshot (a recovery-cost
+				// optimization) failed. Ack the tick; failing it here would
+				// break the "error means no state change" retry contract and
+				// let a retry double-tick. Degrade so further writes pause
+				// until the store heals.
+				s.degradeLocked(c, fmt.Errorf("snapshotting after tick %d: %w", it.Index, serr))
 			}
 		}
 	}
 	return it, nil
+}
+
+// degradeLocked latches the cluster degraded after a durable-write
+// failure and rolls its in-memory session back to the last committed
+// tick, so reads serve only state the store can reproduce. Determinism
+// makes the rollback exact: re-driving the committed schedules lands on
+// a byte-identical trajectory, and the uncommitted tick re-runs
+// identically after recovery. Callers hold c.mu.
+func (s *Service) degradeLocked(c *Cluster, cause error) {
+	c.degradedCause = cause
+	c.degraded.Store(true)
+	s.degradedGauge.add(1)
+	committed := c.store.Ticks()
+	if c.Session().Ticks() <= committed {
+		return
+	}
+	schedules := make([]*tempo.Schedule, 0, committed)
+	for i := 0; i < committed; i++ {
+		schedules = append(schedules, c.Session().ObservedSchedule(i))
+	}
+	opts := tempo.ScenarioOptions{Parallelism: s.cfg.Parallelism, Clock: time.Now}
+	if sess, err := tempo.ResumeSession(c.Session().Spec(), opts, nil, schedules); err == nil {
+		c.session.Store(sess)
+	}
+	// On a resume failure keep the old session: it is one uncommitted
+	// tick ahead of the store, and recovery re-resumes from disk anyway.
+}
+
+// recoveryProbeLoop periodically retries degraded clusters' stores
+// until Close. The cadence is RecoveryProbeInterval; each pass is cheap
+// when nothing is degraded.
+func (s *Service) recoveryProbeLoop() {
+	defer s.probeWG.Done()
+	t := time.NewTicker(s.cfg.RecoveryProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			s.ProbeRecovery()
+		}
+	}
+}
+
+// ProbeRecovery attempts to re-arm every degraded cluster right now:
+// reopen its WAL from the durable prefix and resume the session from it.
+// It returns how many clusters recovered. The background probe calls
+// this on its interval; tests and operators can call it directly.
+func (s *Service) ProbeRecovery() int {
+	s.mu.RLock()
+	var degraded []*Cluster
+	for _, c := range s.clusters {
+		if c.Degraded() {
+			degraded = append(degraded, c)
+		}
+	}
+	s.mu.RUnlock()
+	n := 0
+	for _, c := range degraded {
+		if err := s.rearm(c); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// rearm tries to bring one degraded cluster back: reopen the WAL (fresh
+// handle on the durable prefix, torn tail truncated, fault cleared) and
+// resume a session from the committed state. Failure leaves the cluster
+// degraded for the next probe.
+func (s *Service) rearm(c *Cluster) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.degraded.Load() || c.deleted {
+		return nil
+	}
+	if err := c.store.Reopen(); err != nil {
+		return err
+	}
+	sess, err := s.resumeFromStore(c.store)
+	if err != nil {
+		return err
+	}
+	c.session.Store(sess)
+	c.degraded.Store(false)
+	c.degradedCause = nil
+	s.degradedGauge.add(-1)
+	c.notifyLocked() // streams wake and re-read the recovered session
+	return nil
+}
+
+// InjectWALFault arms a torn-write fault on the cluster's next WAL
+// append (see store.ClusterStore.InjectFault): the tick that hits it
+// fails durably and the cluster enters degraded mode. The handle chaos
+// tests and operators use to rehearse degraded-mode recovery.
+func (s *Service) InjectWALFault(id string) error {
+	c, err := s.Get(id)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.store == nil {
+		return errors.New("service: durability disabled, no WAL to fault")
+	}
+	c.store.InjectFault(c.store.WALSize())
+	return nil
 }
 
 // execDelete tears one cluster down on a shard worker.
@@ -433,6 +695,11 @@ func (s *Service) execDelete(c *Cluster) error {
 		return fmt.Errorf("%w: %s", ErrNotFound, c.ID)
 	}
 	c.deleted = true
+	if c.degraded.Load() {
+		// Teardown is the other exit from degraded mode.
+		c.degraded.Store(false)
+		s.degradedGauge.add(-1)
+	}
 	c.notifyLocked() // streams wake, observe deleted, and end
 	if c.store != nil {
 		return s.cfg.Store.DeleteCluster(c.store)
@@ -455,20 +722,27 @@ func (s *Service) List() []string {
 // Tick schedules one control-loop tick for the cluster on its shard's
 // worker pool and waits for the result. Concurrent Ticks on one cluster
 // are serialized; Ticks on different clusters run in parallel up to the
-// pool sizes. done reports whether the cluster's iteration budget is now
-// exhausted — read from the same session that ticked, so it cannot race
-// with registry changes.
-func (s *Service) Tick(c *Cluster) (it tempo.ScenarioIteration, done bool, err error) {
-	it, err = s.shards[c.Shard].tick(c)
+// pool sizes. The context bounds admission only (further capped by
+// Config.AdmissionTimeout): a tick shed with ErrOverloaded never ran,
+// and an admitted tick always runs to completion. done reports whether
+// the cluster's iteration budget is now exhausted — read from the same
+// session that ticked, so it cannot race with registry changes.
+func (s *Service) Tick(ctx context.Context, c *Cluster) (it tempo.ScenarioIteration, done bool, err error) {
+	// Fail degraded writes before queueing: a cluster waiting on store
+	// recovery must not occupy shard workers.
+	if derr := c.degradedError(); derr != nil {
+		return tempo.ScenarioIteration{}, false, derr
+	}
+	it, err = s.shards[c.Shard].tick(ctx, c)
 	if err != nil {
 		return tempo.ScenarioIteration{}, false, err
 	}
-	return it, c.Session.Done(), nil
+	return it, c.Session().Done(), nil
 }
 
 // QS answers a windowed QS query for the cluster (see tempo.Session.QS).
 func (s *Service) QS(c *Cluster, from, to time.Duration) ([]tempo.WindowQS, error) {
-	windows, err := c.Session.QS(from, to)
+	windows, err := c.Session().QS(from, to)
 	if err != nil {
 		return nil, err
 	}
@@ -479,7 +753,7 @@ func (s *Service) QS(c *Cluster, from, to time.Duration) ([]tempo.WindowQS, erro
 // Query runs a one-shot query plan over every interval the cluster has
 // observed (see tempo.Session.Query).
 func (s *Service) Query(c *Cluster, p *tempo.QueryPlan) (*tempo.QueryResult, error) {
-	res, err := c.Session.Query(p)
+	res, err := c.Session().Query(p)
 	if err != nil {
 		return nil, err
 	}
@@ -489,7 +763,7 @@ func (s *Service) Query(c *Cluster, p *tempo.QueryPlan) (*tempo.QueryResult, err
 
 // WhatIf scores candidate configurations in the cluster's What-if Model.
 func (s *Service) WhatIf(c *Cluster, cfgs []tempo.ClusterConfig) ([][]float64, error) {
-	rows, err := c.Session.WhatIf(cfgs)
+	rows, err := c.Session().WhatIf(cfgs)
 	if err != nil {
 		return nil, err
 	}

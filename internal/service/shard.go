@@ -7,6 +7,8 @@
 package service
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -59,7 +61,10 @@ type shard struct {
 	// pending counts jobs enqueued but not yet replied to — the signal
 	// Close's bounded drain polls for.
 	pending counter
-	lat     latencyRing
+	// shed counts admissions refused because the queue stayed full past
+	// the deadline — requests turned away with zero state change.
+	shed counter
+	lat  latencyRing
 	// decLat retains recent controller decision latencies (propose →
 	// apply, reported by the session per tick) — the search-phase slice of
 	// the tick latency lat measures.
@@ -85,27 +90,43 @@ func newShard(idx int, svc *Service, cfg Config) *shard {
 func (sh *shard) wait() { sh.wg.Wait() }
 
 // tick enqueues one tick for the cluster and waits for a worker to run
-// it. A full queue applies backpressure (the caller blocks); a closed
+// it. A full queue applies backpressure bounded by the caller's context
+// deadline and the service's AdmissionTimeout; waiting past either sheds
+// the request with ErrOverloaded instead of blocking forever. A closed
 // service fails the call instead of hanging.
-func (sh *shard) tick(c *Cluster) (tempo.ScenarioIteration, error) {
-	return sh.run(tickJob{cluster: c, reply: make(chan tickResult, 1)})
+func (sh *shard) tick(ctx context.Context, c *Cluster) (tempo.ScenarioIteration, error) {
+	return sh.run(ctx, tickJob{cluster: c, reply: make(chan tickResult, 1)})
 }
 
-// remove enqueues the cluster's teardown and waits for it.
-func (sh *shard) remove(c *Cluster) error {
-	_, err := sh.run(tickJob{cluster: c, remove: true, reply: make(chan tickResult, 1)})
+// remove enqueues the cluster's teardown and waits for it, under the
+// same bounded admission as ticks.
+func (sh *shard) remove(ctx context.Context, c *Cluster) error {
+	_, err := sh.run(ctx, tickJob{cluster: c, remove: true, reply: make(chan tickResult, 1)})
 	return err
 }
 
-func (sh *shard) run(job tickJob) (tempo.ScenarioIteration, error) {
+func (sh *shard) run(ctx context.Context, job tickJob) (tempo.ScenarioIteration, error) {
 	sh.pending.add(1)
-	//tempolint:ignore determinism enqueue-vs-shutdown race only selects ErrClosed, never alters tick output
+	// Admission: deadline-bounded. A request shed here has touched no
+	// state whatsoever, so the 503 it becomes is always safe to retry.
+	actx, cancel := context.WithTimeout(ctx, sh.svc.cfg.AdmissionTimeout)
+	defer cancel()
+	//tempolint:ignore determinism admission races only select which request is shed with zero state change, never tick output
 	select {
 	case sh.jobs <- job:
 	case <-sh.quit:
 		sh.pending.add(-1)
 		return tempo.ScenarioIteration{}, ErrClosed
+	case <-actx.Done():
+		sh.pending.add(-1)
+		sh.shed.add(1)
+		sh.svc.shedRequests.add(1)
+		return tempo.ScenarioIteration{}, fmt.Errorf("%w: shard %d queue full past the admission deadline (%v)", ErrOverloaded, sh.idx, actx.Err())
 	}
+	// Once admitted the job WILL run — abandoning it on a deadline would
+	// mean an error response for a tick that still commits, breaking the
+	// "error means no state change" retry contract. Only service
+	// shutdown cuts the wait.
 	//tempolint:ignore determinism reply-vs-shutdown race only selects ErrClosed, never alters tick output
 	select {
 	case res := <-job.reply:
@@ -113,6 +134,26 @@ func (sh *shard) run(job tickJob) (tempo.ScenarioIteration, error) {
 	case <-sh.quit:
 		return tempo.ScenarioIteration{}, ErrClosed
 	}
+}
+
+// retryAfterSeconds estimates when a shed caller should come back: the
+// time for the current queue to drain at the shard's p99 tick latency
+// across its workers, rounded up to whole seconds and clamped to
+// [1, 30] — an honest hint, not a promise.
+func (sh *shard) retryAfterSeconds() int {
+	_, p99, ok := sh.lat.quantiles()
+	if !ok {
+		return 1
+	}
+	est := time.Duration(len(sh.jobs)+1) * p99 / time.Duration(sh.svc.cfg.WorkersPerShard)
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 func (sh *shard) worker() {

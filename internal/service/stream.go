@@ -33,9 +33,11 @@ type StreamDone struct {
 // control interval is pushed through the plan incrementally and the
 // changed rows stream out as "result" events; idle periods carry
 // ": keepalive" comments every Config.StreamHeartbeat. The stream ends
-// with "done" when the session completes, or "error" if the cluster is
-// deleted mid-stream. Admission is capped at Config.MaxStreams live
-// subscriptions (429 subscription_limit beyond that).
+// with "done" when the session completes, or a terminal "error" event if
+// the cluster is deleted mid-stream (code "not_found") or the server
+// begins draining (code "unavailable"). Admission is capped at
+// Config.MaxStreams live subscriptions (429 subscription_limit beyond
+// that).
 func (s *Service) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	c, err := s.Get(r.PathValue("id"))
 	if err != nil {
@@ -52,7 +54,7 @@ func (s *Service) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidPlan, err)
 		return
 	}
-	runner, err := c.Session.NewQueryRunner(plan)
+	runner, err := c.Session().NewQueryRunner(plan)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeInvalidPlan, err)
 		return
@@ -69,6 +71,13 @@ func (s *Service) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.streams.n.Add(-1)
+
+	// A standing subscription legitimately outlives the http.Server's
+	// WriteTimeout (tempod sets one against slow-loris peers); clear the
+	// connection's write deadline for this response only. Writers that
+	// don't support it (plain httptest recorders) just keep the default.
+	rc := http.NewResponseController(w)
+	rc.SetWriteDeadline(time.Time{}) //nolint:errcheck // best-effort; heartbeats cover the rest
 
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -97,10 +106,10 @@ func (s *Service) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 			emit("error", ErrorEnvelope{Error: "cluster deleted", Code: CodeNotFound})
 			return
 		}
-		done := c.Session.Done()
-		ticks := c.Session.Ticks()
+		done := c.Session().Done()
+		ticks := c.Session().Ticks()
 		for next < ticks {
-			sched := c.Session.ObservedSchedule(next)
+			sched := c.Session().ObservedSchedule(next)
 			rows, err := runner.PushTick(next, sched)
 			if err != nil {
 				emit("error", ErrorEnvelope{Error: err.Error(), Code: CodeBadRequest})
@@ -121,6 +130,14 @@ func (s *Service) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-ctx.Done():
+			return
+		case <-s.quit:
+			// Server drain: tell the subscriber explicitly instead of letting
+			// it hang until heartbeat death. "unavailable" is retryable — the
+			// client reconnects elsewhere (or later) and replays from its own
+			// cursor.
+			emit("error", ErrorEnvelope{Error: "server draining", Code: CodeUnavailable})
+			flusher.Flush()
 			return
 		case <-ch:
 		case <-heartbeat.C:

@@ -37,6 +37,9 @@ var ErrNotFound = errors.New("store: unknown cluster")
 type Options struct {
 	SyncInterval time.Duration
 	SyncBytes    int
+	// Stall, when non-nil, runs before every WAL fsync (chaos fault
+	// injection; see WALOptions.Stall).
+	Stall func()
 }
 
 // Store is the root handle on a tempod data directory.
@@ -164,7 +167,7 @@ func (s *Store) DeleteCluster(cs *ClusterStore) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, cs.id)
 	}
-	cs.wal.Close()
+	cs.closeWAL()
 	if err := os.RemoveAll(cs.dir); err != nil {
 		return err
 	}
@@ -181,7 +184,7 @@ func (s *Store) Close() error {
 	s.closed = true
 	var err error
 	for _, cs := range s.clusters {
-		if cerr := cs.wal.Close(); err == nil {
+		if cerr := cs.closeWAL(); err == nil {
 			err = cerr
 		}
 	}
@@ -193,6 +196,7 @@ type ClusterStore struct {
 	id   string
 	dir  string
 	spec *scenario.Spec
+	opts Options
 
 	mu  sync.Mutex
 	wal *WAL
@@ -217,11 +221,12 @@ func openCluster(id, dir string, opts Options) (*ClusterStore, error) {
 	wal, records, err := OpenWAL(filepath.Join(dir, "wal.log"), WALOptions{
 		SyncInterval: opts.SyncInterval,
 		SyncBytes:    opts.SyncBytes,
+		Stall:        opts.Stall,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &ClusterStore{id: id, dir: dir, spec: spec, wal: wal, recovered: records, ticks: len(records)}, nil
+	return &ClusterStore{id: id, dir: dir, spec: spec, opts: opts, wal: wal, recovered: records, ticks: len(records)}, nil
 }
 
 // ID returns the cluster id.
@@ -304,17 +309,61 @@ func (c *ClusterStore) LoadSnapshot() (*scenario.Snapshot, error) {
 }
 
 // Sync forces the WAL's dirty tail to stable storage.
-func (c *ClusterStore) Sync() error { return c.wal.Sync() }
+func (c *ClusterStore) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wal.Sync()
+}
 
 // WALSize returns the WAL's byte length (metrics, benches).
-func (c *ClusterStore) WALSize() int64 { return c.wal.Size() }
+func (c *ClusterStore) WALSize() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wal.Size()
+}
 
 // InjectFault arms a crash fault point on the cluster's WAL: writes stop,
-// torn, once the file reaches limit bytes. Recovery tests only.
+// torn, once the file reaches limit bytes. Chaos and recovery tests only.
 func (c *ClusterStore) InjectFault(limit int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.wal.mu.Lock()
 	defer c.wal.mu.Unlock()
 	c.wal.opts.Fault = &FaultPoint{Limit: limit, written: c.wal.size}
+}
+
+// closeWAL flushes and closes the current WAL handle under the cluster
+// lock (Reopen can swap the handle concurrently with teardown).
+func (c *ClusterStore) closeWAL() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wal.Close()
+}
+
+// Reopen discards the cluster's WAL handle — broken by a write error or
+// an injected fault — and re-opens the file from disk: the log is
+// re-scanned, any torn tail truncated away, the recovered record set
+// refreshed, and any armed fault point cleared. It is the store half of
+// degraded-mode recovery: success means the durable prefix is readable
+// and appendable again, so the service can resume the cluster from it.
+func (c *ClusterStore) Reopen() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.wal.Close(); err != nil {
+		return err
+	}
+	wal, records, err := OpenWAL(filepath.Join(c.dir, "wal.log"), WALOptions{
+		SyncInterval: c.opts.SyncInterval,
+		SyncBytes:    c.opts.SyncBytes,
+		Stall:        c.opts.Stall,
+	})
+	if err != nil {
+		return err
+	}
+	c.wal = wal
+	c.recovered = records
+	c.ticks = len(records)
+	return nil
 }
 
 // writeFileAtomic replaces path with data via tmp-write + fsync + rename

@@ -71,6 +71,11 @@ type WALOptions struct {
 	SyncBytes int
 	// Fault, when non-nil, injects a crash (tests only).
 	Fault *FaultPoint
+	// Stall, when non-nil, runs before every fsync — the chaos hook for
+	// a device that intermittently takes forever to flush. It runs with
+	// the WAL lock held, so a stall delays this WAL's appends exactly
+	// like a real slow disk would.
+	Stall func()
 }
 
 // WAL is one cluster's append-only record log. Appends write through to
@@ -223,6 +228,9 @@ func (w *WAL) maybeSync() error {
 }
 
 func (w *WAL) syncLocked() error {
+	if w.opts.Stall != nil {
+		w.opts.Stall()
+	}
 	if err := w.f.Sync(); err != nil {
 		w.broken = true
 		return err

@@ -160,7 +160,7 @@ func TestRetryableCodeTable(t *testing.T) {
 			t.Errorf("retryableCode(%q) = false, want true", code)
 		}
 	}
-	for _, code := range []string{CodeBadRequest, CodeNotFound, CodeInternal, "", "gibberish"} {
+	for _, code := range []string{CodeBadRequest, CodeNotFound, CodeInternal, CodeInterrupted, "", "gibberish"} {
 		if retryableCode(code) {
 			t.Errorf("retryableCode(%q) = true, want false", code)
 		}

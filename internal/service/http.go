@@ -149,6 +149,11 @@ const (
 	// are safe to retry after the Retry-After hint.
 	CodeOverloaded = "overloaded"
 	CodeDegraded   = "degraded"
+	// CodeInterrupted marks a request cut off by shutdown AFTER it was
+	// admitted: the job may or may not have executed, so unlike
+	// "unavailable" (refused before execution) it is NOT safe to retry
+	// automatically — a replayed tick could double-apply.
+	CodeInterrupted = "interrupted"
 )
 
 // ErrorEnvelope is the uniform JSON error body.
@@ -183,6 +188,8 @@ func errStatus(err error) (int, string) {
 		return http.StatusServiceUnavailable, CodeOverloaded
 	case errors.Is(err, ErrDegraded):
 		return http.StatusServiceUnavailable, CodeDegraded
+	case errors.Is(err, ErrInterrupted):
+		return http.StatusServiceUnavailable, CodeInterrupted
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable, CodeUnavailable
 	default:
@@ -287,8 +294,11 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if err := s.Delete(r.Context(), r.PathValue("id")); err != nil {
-		s.writeRetryableError(w, -1, err)
+	id := r.PathValue("id")
+	if err := s.Delete(r.Context(), id); err != nil {
+		// The shard pin is a pure function of the id, so a shed delete gets
+		// the same honest p99-derived Retry-After hint as a shed tick.
+		s.writeRetryableError(w, s.shardFor(id), err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

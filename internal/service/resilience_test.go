@@ -578,6 +578,69 @@ func TestStreamDrainTerminalEvent(t *testing.T) {
 	}
 }
 
+// TestStreamSurvivesServerReadTimeout: a standing SSE subscription must
+// outlive the listener's whole-request ReadTimeout (tempod arms one via
+// -request-timeout). net/http keeps that read deadline armed during the
+// handler; if the handler clears only the write deadline, the expiring
+// background read cancels r.Context() and silently severs every stream
+// older than the timeout with no terminal event.
+func TestStreamSurvivesServerReadTimeout(t *testing.T) {
+	svc, err := service.New(service.Config{StreamHeartbeat: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewUnstartedServer(svc.Handler())
+	ts.Config.ReadHeaderTimeout = 150 * time.Millisecond
+	ts.Config.ReadTimeout = 150 * time.Millisecond
+	ts.Config.WriteTimeout = 150 * time.Millisecond
+	ts.Start()
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+
+	spec := smallSpec(t, 3)
+	createCluster(t, ts.URL, "c1", spec)
+
+	plan := `{"version":1,"source":"jobs","ops":[{"op":"group_by","by":["tenant"]},{"op":"aggregate","aggs":[{"fn":"count","as":"jobs"}]}]}`
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, err := openStream(t, ctx, ts.URL, "c1", plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream subscribe = %d", resp.StatusCode)
+	}
+	done := make(chan []sseEvent, 1)
+	go func() { done <- readSSE(t, resp) }()
+
+	// Idle well past the request read deadline, then drive the session to
+	// completion: the subscription must still be alive to deliver it.
+	time.Sleep(500 * time.Millisecond)
+	for i := 0; i < spec.Iterations; i++ {
+		tickResp, err := http.Post(ts.URL+"/v1/clusters/c1/tick", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickResp.Body.Close()
+		if tickResp.StatusCode != http.StatusOK {
+			t.Fatalf("tick %d = %d", i, tickResp.StatusCode)
+		}
+	}
+	select {
+	case events := <-done:
+		if len(events) == 0 {
+			t.Fatal("stream severed with no events — the request read deadline killed it")
+		}
+		if last := events[len(events)-1]; last.name != "done" {
+			t.Fatalf("terminal event = %q (%s), want done — stream did not outlive ReadTimeout", last.name, last.data)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream never terminated")
+	}
+}
+
 // TestDeleteShedKeepsCluster: a Delete shed at admission must not lose
 // the cluster — the id stays registered and a later delete succeeds.
 func TestDeleteShedKeepsCluster(t *testing.T) {
@@ -623,5 +686,64 @@ func TestDeleteShedKeepsCluster(t *testing.T) {
 	}
 	if _, err := svc.Get("doomed"); !errors.Is(err, service.ErrNotFound) {
 		t.Fatalf("cluster survived successful delete: %v", err)
+	}
+}
+
+// TestShutdownInterruptsAdmittedTick: shutdown that severs a tick AFTER
+// admission must answer 503 {code: "interrupted"} — NOT "unavailable" —
+// because the admitted tick may still commit durably; "unavailable"
+// would invite the driver's auto-retry to double-apply it. No
+// Retry-After accompanies it: there is nothing safe to retry.
+func TestShutdownInterruptsAdmittedTick(t *testing.T) {
+	svc, ts := newTestServer(t, service.Config{
+		Shards:          1,
+		WorkersPerShard: 1,
+		QueueDepth:      1,
+		DrainTimeout:    20 * time.Millisecond,
+		Chaos:           mustChaos(t, 1, chaos.Spec{TickLatency: 1.0, TickLatencyMs: 400}),
+	})
+	spec := smallSpec(t, 10)
+	createCluster(t, ts.URL, "c1", spec)
+
+	type result struct {
+		code       int
+		body       []byte
+		retryAfter string
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/clusters/c1/tick", "application/json", nil)
+		if err != nil {
+			done <- result{code: -1}
+			return
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body) //nolint:errcheck
+		done <- result{resp.StatusCode, buf.Bytes(), resp.Header.Get("Retry-After")}
+	}()
+	time.Sleep(100 * time.Millisecond) // the tick is admitted and executing under chaos latency
+	svc.Close()                        // drain deadline (20ms) expires well inside the 400ms tick
+
+	select {
+	case r := <-done:
+		if r.code == -1 {
+			t.Skip("connection failed before a response; cannot observe the envelope")
+		}
+		if r.code != http.StatusServiceUnavailable {
+			t.Fatalf("interrupted tick returned %d (%s), want 503", r.code, r.body)
+		}
+		var env service.ErrorEnvelope
+		if err := json.Unmarshal(r.body, &env); err != nil {
+			t.Fatalf("interrupted response is not the error envelope: %s", r.body)
+		}
+		if env.Code != service.CodeInterrupted {
+			t.Fatalf("interrupted tick code = %q, want %q (%s)", env.Code, service.CodeInterrupted, r.body)
+		}
+		if r.retryAfter != "" {
+			t.Fatalf("interrupted tick carried Retry-After %q; outcome-unknown errors must not invite retries", r.retryAfter)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("tick request never returned after Close")
 	}
 }

@@ -144,8 +144,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// ErrClosed is returned for operations on a closed service.
+// ErrClosed is returned for operations refused because the service is
+// closed — refusals that happen before any state could change, so a
+// client may safely retry against a restarted server.
 var ErrClosed = errors.New("service: closed")
+
+// ErrInterrupted is returned when shutdown cuts off a job AFTER it was
+// admitted to a shard queue: the job may or may not have executed (an
+// admitted tick can still commit durably while the caller's wait is
+// severed), so unlike ErrClosed the outcome is unknown and the request
+// must NOT be retried automatically — a replay could double-apply it.
+var ErrInterrupted = errors.New("service: shut down mid-request; outcome unknown")
 
 // ErrNotFound is returned for operations naming an unknown cluster id.
 var ErrNotFound = errors.New("service: unknown cluster")
@@ -477,7 +486,7 @@ func (s *Service) Get(id string) (*Cluster, error) {
 	return c, nil
 }
 
-// Delete unregisters the cluster and, with durability on, removes its
+// Delete tears the cluster down and, with durability on, removes its
 // on-disk state. The teardown is routed through the cluster's shard queue
 // and serialized against ticks by the cluster mutex, so an in-flight tick
 // either commits fully before the teardown or observes the deletion and
@@ -485,29 +494,32 @@ func (s *Service) Get(id string) (*Cluster, error) {
 // works on degraded clusters (teardown is how a hopelessly broken store
 // is cleared). The context bounds admission only; an admitted teardown
 // always completes.
+//
+// The cluster stays registered until its teardown actually runs: during
+// the admission wait reads keep serving, a racing Create(id) sees
+// ErrExists instead of silently taking over a still-live id, and a
+// teardown shed with ErrOverloaded leaves the cluster exactly as it was.
+// Unregistration happens only after execDelete has latched the deletion,
+// so a request that resolves the id in that last window is fenced by the
+// deleted flag and fails with ErrNotFound.
 func (s *Service) Delete(ctx context.Context, id string) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	s.mu.RLock()
+	closed := s.closed
+	c, ok := s.clusters[id]
+	s.mu.RUnlock()
+	if closed {
 		return ErrClosed
 	}
-	c, ok := s.clusters[id]
-	if ok {
-		// Unregister eagerly so new requests stop resolving the id; ticks
-		// already holding the *Cluster are fenced by execDelete below.
-		delete(s.clusters, id)
-	}
-	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	err := s.shards[c.Shard].remove(ctx, c)
-	if errors.Is(err, ErrOverloaded) {
-		// The teardown was shed before running; put the cluster back so a
-		// retry (or any other request) still resolves the id.
+	if err == nil || c.isDeleted() {
+		// Torn down (by this call or a racing one that won execDelete):
+		// drop the registry entry so the id becomes available again.
 		s.mu.Lock()
-		if _, taken := s.clusters[id]; !taken && !s.closed {
-			s.clusters[id] = c
+		if cur, taken := s.clusters[id]; taken && cur == c {
+			delete(s.clusters, id)
 		}
 		s.mu.Unlock()
 	}

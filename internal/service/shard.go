@@ -125,14 +125,16 @@ func (sh *shard) run(ctx context.Context, job tickJob) (tempo.ScenarioIteration,
 	}
 	// Once admitted the job WILL run — abandoning it on a deadline would
 	// mean an error response for a tick that still commits, breaking the
-	// "error means no state change" retry contract. Only service
-	// shutdown cuts the wait.
-	//tempolint:ignore determinism reply-vs-shutdown race only selects ErrClosed, never alters tick output
+	// "error means no state change" retry contract. Only service shutdown
+	// cuts the wait, and that cut is ErrInterrupted, not ErrClosed: the
+	// job may have executed (or still commit durably) after the wait is
+	// severed, so the outcome is unknown and clients must not auto-retry.
+	//tempolint:ignore determinism reply-vs-shutdown race only selects ErrInterrupted, never alters tick output
 	select {
 	case res := <-job.reply:
 		return res.it, res.err
 	case <-sh.quit:
-		return tempo.ScenarioIteration{}, ErrClosed
+		return tempo.ScenarioIteration{}, fmt.Errorf("%w: shard %d stopped while the job was queued or running", ErrInterrupted, sh.idx)
 	}
 }
 

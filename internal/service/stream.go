@@ -74,10 +74,15 @@ func (s *Service) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 
 	// A standing subscription legitimately outlives the http.Server's
 	// WriteTimeout (tempod sets one against slow-loris peers); clear the
-	// connection's write deadline for this response only. Writers that
-	// don't support it (plain httptest recorders) just keep the default.
+	// connection's write deadline for this response only. The read
+	// deadline must go too: net/http keeps the whole-request ReadTimeout
+	// armed during the handler, and when it fires the server's background
+	// read fails and cancels r.Context() — silently severing every stream
+	// older than the timeout with no terminal event. Writers that don't
+	// support deadlines (plain httptest recorders) just keep the default.
 	rc := http.NewResponseController(w)
 	rc.SetWriteDeadline(time.Time{}) //nolint:errcheck // best-effort; heartbeats cover the rest
+	rc.SetReadDeadline(time.Time{})  //nolint:errcheck // best-effort, same as above
 
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
